@@ -1,0 +1,64 @@
+// Shared setup helpers for the experiment benches. Each bench binary
+// regenerates one experiment from DESIGN.md §3 (the per-figure/property
+// reproduction index): it first prints the experiment's table (deterministic,
+// simulator work-unit numbers), then runs google-benchmark wall-clock
+// timings for the same code paths.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "graph/builder.h"
+#include "graph/oracle.h"
+#include "reduction/machine.h"
+#include "runtime/sim_engine.h"
+
+namespace dgr::bench {
+
+inline const char* kFib =
+    "def fib(n) = if n < 2 then n else fib(n - 1) + fib(n - 2);";
+
+struct SimRig {
+  Graph g;
+  SimEngine eng;
+  std::unique_ptr<Machine> machine;
+  VertexId root = VertexId::invalid();
+
+  SimRig(std::uint32_t pes, std::uint64_t seed, SimOptions sopt = {})
+      : g(pes), eng(g, [&] {
+          sopt.seed = seed;
+          return sopt;
+        }()) {}
+
+  // Attach a program and demand main.
+  void load(const std::string& src, MachineOptions mopt = {}) {
+    machine = std::make_unique<Machine>(g, eng.mutator(), eng,
+                                        Program::from_source(src), mopt);
+    root = machine->load_main();
+    eng.set_root(root);
+    eng.set_reducer([this](const Task& t) { machine->exec(t); });
+    machine->demand(root);
+  }
+
+  // Attach a static random graph workload.
+  BuiltGraph load_static(const RandomGraphOptions& opt) {
+    BuiltGraph b = build_random_graph(g, opt);
+    root = b.root;
+    eng.set_root(root);
+    for (const TaskRef& t : b.tasks)
+      eng.spawn(Task::request(t.s, t.d, ReqKind::kVital));
+    return b;
+  }
+};
+
+inline void print_header(const char* experiment, const char* source,
+                         const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s  (paper: %s)\n", experiment, source);
+  std::printf("claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace dgr::bench

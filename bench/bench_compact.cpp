@@ -1,0 +1,118 @@
+// E15 (§6 remarks) — the space optimization trade-off: "The algorithms as
+// presented incur a high space overhead, in that each vertex requires space
+// for mt-cnt, mt-par, and marking bits ... it is possible to combine all of
+// the mt-cnt's and mt-par's into just two words on each PE."
+//
+// The compact variant implements that: two-color marking with per-PE
+// Dijkstra-Scholten termination (2 words per PE). The table measures what
+// the paper's remark implies on both sides of the trade:
+//   space  — marking words: per-vertex (tree) vs per-PE (compact);
+//   traffic — the compact marker pays one acknowledgement per mark message
+//             and multi-pass waves under mutation, where the tree marker's
+//             returns collapse along the marking tree.
+#include "bench/bench_common.h"
+
+namespace dgr::bench {
+namespace {
+
+struct Row {
+  std::uint64_t mark_msgs = 0;
+  std::uint64_t ctrl_msgs = 0;  // returns (tree) or acks (compact)
+  std::size_t swept = 0;
+  std::uint64_t marking_words = 0;
+};
+
+Row run_tree(std::uint32_t n, std::uint64_t seed) {
+  Graph g(8);
+  RandomGraphOptions opt;
+  opt.num_vertices = n;
+  opt.seed = seed;
+  const BuiltGraph b = build_random_graph(g, opt);
+  SimOptions sopt;
+  sopt.seed = seed;
+  SimEngine eng(g, sopt);
+  eng.set_root(b.root);
+  eng.controller().start_cycle(CycleOptions{false});
+  eng.run_until_cycle_done();
+  Row r;
+  r.mark_msgs = eng.controller().last().stats_r.marks;
+  r.ctrl_msgs = eng.controller().last().stats_r.returns;
+  r.swept = eng.controller().last().swept;
+  // mt_cnt + mt_par per vertex.
+  r.marking_words = 2ull * g.total_capacity();
+  return r;
+}
+
+Row run_compact(std::uint32_t n, std::uint64_t seed) {
+  Graph g(8);
+  RandomGraphOptions opt;
+  opt.num_vertices = n;
+  opt.seed = seed;
+  const BuiltGraph b = build_random_graph(g, opt);
+  SimOptions sopt;
+  sopt.seed = seed;
+  SimEngine eng(g, sopt);
+  eng.set_root(b.root);
+  CompactCollector& cc = eng.enable_compact_collector();
+  cc.set_root(b.root);
+  cc.start_cycle();
+  eng.run_until_compact_done();
+  Row r;
+  r.mark_msgs = cc.last().stats.marks;
+  r.ctrl_msgs = cc.last().stats.acks;
+  r.swept = cc.last().swept;
+  r.marking_words = CompactMarker::kWordsPerPe * g.num_pes();
+  return r;
+}
+
+void table() {
+  print_header("E15: §6 space optimization — tree marker vs compact marker",
+               "§6 remarks",
+               "compact keeps 2 words/PE instead of 2 words/vertex; both "
+               "collect identical garbage; compact pays 1 ack per mark and "
+               "loses M_T/deadlock support");
+  std::printf("%10s %8s %12s %14s %10s %16s\n", "variant", "V", "mark_msgs",
+              "returns/acks", "swept", "marking_words");
+  for (std::uint32_t n : {1000u, 10000u, 100000u}) {
+    const Row t = run_tree(n, 7);
+    std::printf("%10s %8u %12llu %14llu %10zu %16llu\n", "tree", n,
+                (unsigned long long)t.mark_msgs,
+                (unsigned long long)t.ctrl_msgs, t.swept,
+                (unsigned long long)t.marking_words);
+    const Row c = run_compact(n, 7);
+    std::printf("%10s %8u %12llu %14llu %10zu %16llu\n", "compact", n,
+                (unsigned long long)c.mark_msgs,
+                (unsigned long long)c.ctrl_msgs, c.swept,
+                (unsigned long long)c.marking_words);
+    if (t.swept != c.swept)
+      std::printf("  !! sweep mismatch: tree %zu vs compact %zu\n", t.swept,
+                  c.swept);
+  }
+}
+
+void BM_TreeCycle(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        run_tree(static_cast<std::uint32_t>(state.range(0)), seed++).swept);
+}
+BENCHMARK(BM_TreeCycle)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_CompactCycle(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        run_compact(static_cast<std::uint32_t>(state.range(0)), seed++)
+            .swept);
+}
+BENCHMARK(BM_CompactCycle)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dgr::bench
+
+int main(int argc, char** argv) {
+  dgr::bench::table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// E8 — Decentralized scaling (paper §1, §4: "highly parallel ... not relying
+// on any centralized data or control").
+//
+// Table: one marking cycle over a fixed ~N-vertex graph, threaded engine,
+// PEs swept 1..hardware. A decentralized marker should scale: wall time per
+// cycle drops as PEs are added, with no shared stack or queue. Also reports
+// the cross-PE message volume (the cost of decentralization).
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "runtime/thread_engine.h"
+
+namespace dgr::bench {
+namespace {
+
+Graph make_graph(std::uint32_t pes, std::uint32_t vertices,
+                 std::uint64_t seed) {
+  Graph g(pes, vertices / pes + 64);
+  for (PeId pe = 0; pe < pes; ++pe) g.store(pe).set_fixed_capacity(true);
+  RandomGraphOptions opt;
+  opt.num_vertices = vertices;
+  opt.avg_out_degree = 3.0;
+  opt.p_detached = 0.2;
+  opt.seed = seed;
+  build_random_graph(g, opt);
+  return g;
+}
+
+VertexId root_of(const Graph& g) { return VertexId{0, 0}; }
+
+void table() {
+  print_header("E8: marking throughput vs #PEs",
+               "§1/§4 decentralization claim",
+               "cycle wall-time falls with PEs; remote traffic grows");
+  constexpr std::uint32_t kVertices = 1 << 17;  // 131072
+  std::printf("%6s %12s %14s %16s %14s\n", "PEs", "cycle_ms",
+              "Mvertices/s", "remote_msgs", "bytes");
+  const std::uint32_t hw = std::max(2u, std::thread::hardware_concurrency());
+  for (std::uint32_t pes : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    if (pes > 2 * hw) break;
+    Graph g = make_graph(pes, kVertices, 42);
+    ThreadEngine eng(g);
+    eng.set_root(root_of(g));
+    eng.start();
+    const auto t0 = std::chrono::steady_clock::now();
+    CycleOptions copt;
+    copt.detect_deadlock = false;
+    eng.controller().start_cycle(copt);
+    eng.wait_cycle_done();
+    const auto t1 = std::chrono::steady_clock::now();
+    eng.stop();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double mvps =
+        static_cast<double>(eng.controller().last().stats_r.marks) /
+        (ms * 1e3);
+    std::printf("%6u %12.2f %14.2f %16llu %14llu\n", pes, ms, mvps,
+                static_cast<unsigned long long>(eng.stats().remote_messages),
+                static_cast<unsigned long long>(eng.stats().bytes_sent));
+  }
+}
+
+void BM_ThreadedCycle(benchmark::State& state) {
+  const auto pes = static_cast<std::uint32_t>(state.range(0));
+  Graph g = make_graph(pes, 1 << 15, 7);
+  ThreadEngine eng(g);
+  eng.set_root(root_of(g));
+  eng.start();
+  CycleOptions copt;
+  copt.detect_deadlock = false;
+  for (auto _ : state) {
+    eng.controller().start_cycle(copt);
+    eng.wait_cycle_done();
+  }
+  eng.stop();
+  state.counters["marks/s"] = benchmark::Counter(
+      static_cast<double>(eng.marker().stats(Plane::kR).marks),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ThreadedCycle)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// The deterministic simulator's cycle cost for the same family, as a
+// message-count (not time) view of the algorithm.
+void BM_SimCycleSteps(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimRig rig(8, 3);
+    RandomGraphOptions opt;
+    opt.num_vertices = n;
+    opt.seed = 3;
+    rig.load_static(opt);
+    state.ResumeTiming();
+    CycleOptions copt;
+    copt.detect_deadlock = false;
+    rig.eng.controller().start_cycle(copt);
+    rig.eng.run_until_cycle_done();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimCycleSteps)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dgr::bench
+
+int main(int argc, char** argv) {
+  dgr::bench::table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

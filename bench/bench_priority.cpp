@@ -1,0 +1,105 @@
+// E12 — Dynamic prioritization: mark2's priority-upgrade re-marking (paper
+// §5.1: "if a vertex x has been marked with priority n, and subsequently an
+// attempt is made to mark it with priority m > n, then the higher priority
+// should prevail ... re-marking x as well as certain of its children").
+//
+// Workload: a vital path and an eager path converge on a chain of length L.
+// If the eager path wins the race, the whole chain is first marked priority
+// 2 and must be re-marked at 3 when the vital path arrives. Table: re-mark
+// volume vs chain length (the paper's re-marking cost is linear in the
+// upgraded region), plus the restructuring phase's pool re-prioritization.
+#include "bench/bench_common.h"
+
+namespace dgr::bench {
+namespace {
+
+struct Row {
+  std::uint64_t marks;
+  std::uint64_t remarks;
+  std::size_t reprioritized;
+  bool all_vital;
+};
+
+Row run(std::uint32_t chain_len, std::uint64_t seed, bool eager_first_bias) {
+  Graph g(4);
+  // root -e-> a ; root -v-> b ; both -> chain head; chain of vital edges.
+  const VertexId root = g.alloc(0, OpCode::kData);
+  const VertexId a = g.alloc(1, OpCode::kData);
+  const VertexId b = g.alloc(2, OpCode::kData);
+  connect(g, root, a, ReqKind::kEager);
+  const auto chain = build_chain(g, chain_len, ReqKind::kVital);
+  connect(g, a, chain.front(), ReqKind::kVital);
+  connect(g, b, chain.front(), ReqKind::kVital);
+  // To bias toward the interesting race (eager path traced first), delay
+  // the vital edge behind a long preamble when requested.
+  std::vector<VertexId> pre;
+  if (eager_first_bias) {
+    pre = build_chain(g, 64, ReqKind::kVital);
+    connect(g, root, pre.front(), ReqKind::kVital);
+    connect(g, pre.back(), b, ReqKind::kVital);
+  } else {
+    connect(g, root, b, ReqKind::kVital);
+  }
+
+  SimOptions sopt;
+  sopt.seed = seed;
+  SimEngine eng(g, sopt);
+  eng.set_root(root);
+  // Pooled tasks on the chain so re-prioritization has something to move.
+  for (std::uint32_t i = 0; i < chain_len; i += 8) {
+    Task t = Task::request(VertexId::invalid(), chain[i], ReqKind::kEager);
+    t.pool_prior = 2;
+    eng.spawn(t);
+  }
+  CycleOptions copt;
+  copt.detect_deadlock = false;
+  eng.controller().start_cycle(copt);
+  eng.run_until_cycle_done();
+
+  Row r;
+  r.marks = eng.controller().last().stats_r.marks;
+  r.remarks = eng.controller().last().stats_r.remarks;
+  r.reprioritized = eng.controller().last().reprioritized;
+  r.all_vital = true;
+  for (VertexId v : chain)
+    r.all_vital = r.all_vital && eng.marker().prior(Plane::kR, v) == 3;
+  return r;
+}
+
+void table() {
+  print_header("E12: priority-upgrade re-marking (mark2)",
+               "§5.1 / §3.2 item 2",
+               "upgrade cost is linear in the upgraded region; final "
+               "priorities are the max-min fixpoint; pooled tasks move to "
+               "the vital bucket");
+  std::printf("%8s %6s %10s %10s %14s %10s\n", "chain", "seed", "marks",
+              "remarks", "repri_tasks", "all_vital");
+  for (std::uint32_t len : {16u, 64u, 256u, 1024u}) {
+    for (std::uint64_t seed : {1ull, 2ull}) {
+      const Row r = run(len, seed, true);
+      std::printf("%8u %6llu %10llu %10llu %14zu %10s\n", len,
+                  (unsigned long long)seed, (unsigned long long)r.marks,
+                  (unsigned long long)r.remarks, r.reprioritized,
+                  r.all_vital ? "yes" : "NO");
+    }
+  }
+}
+
+void BM_UpgradeCycle(benchmark::State& state) {
+  const auto len = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) benchmark::DoNotOptimize(run(len, seed++, true).marks);
+  state.SetItemsProcessed(state.iterations() * len);
+}
+BENCHMARK(BM_UpgradeCycle)->Arg(64)->Arg(512)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace dgr::bench
+
+int main(int argc, char** argv) {
+  dgr::bench::table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// E13 — Irrelevant runaway containment (paper §3.2 item 3: irrelevant tasks
+// "may distribute through the system generating an arbitrarily large (and
+// irrelevant) parallel workload; indeed, the subcomputation may be
+// non-terminating").
+//
+// Workload: `if true then 99 else boom(0)` with speculation on, where boom
+// diverges. The untaken branch floods the pools with eager tasks that turn
+// irrelevant at resolution. Table: how large the runaway is allowed to grow
+// (steps of free run) vs what one marking cycle expunges and sweeps — the
+// cycle always drains the system completely.
+#include "bench/bench_common.h"
+
+namespace dgr::bench {
+namespace {
+
+struct Row {
+  std::size_t pending_before = 0;
+  std::size_t live_before = 0;
+  std::size_t expunged = 0;
+  std::size_t swept = 0;
+  std::uint64_t cycles = 0;
+  bool drained = false;
+  std::int64_t result = -1;
+};
+
+Row run(std::uint64_t grow_steps, std::uint64_t seed) {
+  MachineOptions mopt;
+  mopt.speculate_if = true;
+  SimRig rig(4, seed);
+  rig.load(
+      // Branching divergence: the irrelevant workload is genuinely parallel
+      // ("an arbitrarily large (and irrelevant) parallel workload", §3.2).
+      "def boom(n) = boom(n + 1) + boom(n + 2);"
+      "def main() = if 1 < 2 then 99 else boom(0);",
+      mopt);
+  Row r;
+  // Let the speculative storm develop.
+  for (std::uint64_t i = 0; i < grow_steps; ++i)
+    if (!rig.eng.step()) break;
+  r.pending_before = rig.eng.pending_reduction();
+  r.live_before = rig.g.total_live();
+  // Collect until drained (one cycle normally suffices: every boom task's
+  // destination is unreachable from the root after the dereference).
+  while (!rig.eng.quiescent() && r.cycles < 4) {
+    rig.eng.controller().start_cycle(CycleOptions{false});
+    rig.eng.run_until_cycle_done();
+    r.expunged += rig.eng.controller().last().expunged;
+    r.swept += rig.eng.controller().last().swept;
+    ++r.cycles;
+    rig.eng.run(100'000'000);  // drain whatever survived
+  }
+  r.drained = rig.eng.quiescent();
+  const auto res = rig.machine->result_of(rig.root);
+  r.result = res ? res->as_int() : -1;
+  return r;
+}
+
+void table() {
+  print_header("E13: containment of a non-terminating eager workload",
+               "§3.2 item 3, Property 6",
+               "however large the runaway grows, one cycle expunges it and "
+               "reclaims its vertices; the answer is unaffected");
+  std::printf("%12s %12s %10s %10s %8s %8s %8s %8s\n", "grow_steps",
+              "pending", "live", "expunged", "swept", "cycles", "drained",
+              "result");
+  for (std::uint64_t grow : {1000ull, 10000ull, 100000ull, 1000000ull}) {
+    const Row r = run(grow, 7);
+    std::printf("%12llu %12zu %10zu %10zu %8zu %8llu %8s %8lld\n",
+                (unsigned long long)grow, r.pending_before, r.live_before,
+                r.expunged, r.swept, (unsigned long long)r.cycles,
+                r.drained ? "yes" : "NO", (long long)r.result);
+  }
+}
+
+void BM_ContainRunaway(benchmark::State& state) {
+  const auto grow = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) benchmark::DoNotOptimize(run(grow, seed++).expunged);
+}
+BENCHMARK(BM_ContainRunaway)->Arg(1000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dgr::bench
+
+int main(int argc, char** argv) {
+  dgr::bench::table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

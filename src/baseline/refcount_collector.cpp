@@ -1,0 +1,64 @@
+#include "baseline/refcount_collector.h"
+
+namespace dgr {
+
+RefCountCollector::RefCountCollector(Graph& g) : g_(g) {
+  counts_.resize(g.num_pes());
+}
+
+void RefCountCollector::ensure(VertexId v) {
+  auto& c = counts_[v.pe];
+  if (v.idx >= c.size()) c.resize(v.idx + 1, 0);
+}
+
+void RefCountCollector::on_alloc(VertexId v) {
+  ensure(v);
+  counts_[v.pe][v.idx] = 0;
+}
+
+void RefCountCollector::on_connect(VertexId from, VertexId to) {
+  ensure(to);
+  ++counts_[to.pe][to.idx];
+  ++msgs_;
+  if (from.pe != to.pe) ++remote_msgs_;
+}
+
+void RefCountCollector::on_disconnect(VertexId from, VertexId to) {
+  send_dec(from.pe, to);
+}
+
+void RefCountCollector::add_root_ref(VertexId v) {
+  ensure(v);
+  ++counts_[v.pe][v.idx];
+}
+
+void RefCountCollector::drop_root_ref(VertexId v) { send_dec(v.pe, v); }
+
+void RefCountCollector::send_dec(PeId from_pe, VertexId to) {
+  ++msgs_;
+  if (from_pe != to.pe) ++remote_msgs_;
+  pending_dec_.push_back(to);
+}
+
+std::size_t RefCountCollector::process() {
+  std::size_t freed_now = 0;
+  while (!pending_dec_.empty()) {
+    const VertexId v = pending_dec_.front();
+    pending_dec_.pop_front();
+    ensure(v);
+    std::uint32_t& c = counts_[v.pe][v.idx];
+    DGR_CHECK_MSG(c > 0, "reference count underflow");
+    if (--c > 0) continue;
+    if (g_.is_free(v)) continue;
+    // Cascade: the dying vertex drops its references.
+    for (const ArgEdge& e : g_.at(v).args) {
+      if (e.to.valid()) send_dec(v.pe, e.to);
+    }
+    g_.store(v.pe).release(v.idx);
+    ++freed_;
+    ++freed_now;
+  }
+  return freed_now;
+}
+
+}  // namespace dgr

@@ -1,0 +1,58 @@
+// Distributed reference-counting baseline (E10).
+//
+// The alternative the paper argues against (§4): "reference counting has
+// particular deficiencies that make it unsuitable for our purposes, such as
+// the inability to reclaim self-referencing structures, and the inability to
+// perform the tracing necessary to identify task types."
+//
+// Every connect sends an increment message to the target's owner; every
+// disconnect a decrement. A count reaching zero releases the vertex and
+// cascades decrements to its children. Cross-PE count traffic is tallied so
+// benches can compare it against the marker's message volume, and leaked
+// (cyclic) garbage is measured against the reachability oracle.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dgr {
+
+class RefCountCollector {
+ public:
+  explicit RefCountCollector(Graph& g);
+
+  // Mutation notifications. The caller performs the graph mutation itself;
+  // these maintain the counts (and model the count-message traffic).
+  void on_alloc(VertexId v);
+  void on_connect(VertexId from, VertexId to);
+  void on_disconnect(VertexId from, VertexId to);
+  // External (root) references, e.g. the computation root.
+  void add_root_ref(VertexId v);
+  void drop_root_ref(VertexId v);
+
+  // Drain pending decrement messages, cascading releases. Returns the number
+  // of vertices freed by this drain.
+  std::size_t process();
+
+  std::uint32_t count(VertexId v) const { return counts_[v.pe][v.idx]; }
+
+  std::uint64_t freed() const { return freed_; }
+  std::uint64_t messages_sent() const { return msgs_; }
+  std::uint64_t remote_messages() const { return remote_msgs_; }
+
+ private:
+  void ensure(VertexId v);
+  void send_dec(PeId from_pe, VertexId to);
+
+  Graph& g_;
+  std::vector<std::vector<std::uint32_t>> counts_;
+  std::deque<VertexId> pending_dec_;
+  std::uint64_t freed_ = 0;
+  std::uint64_t msgs_ = 0;
+  std::uint64_t remote_msgs_ = 0;
+};
+
+}  // namespace dgr

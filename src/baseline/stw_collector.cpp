@@ -1,0 +1,53 @@
+#include "baseline/stw_collector.h"
+
+#include <deque>
+
+namespace dgr {
+
+StwResult StwCollector::collect(VertexId root) {
+  StwResult res;
+  ++collections_;
+  ++epoch_;
+  mark_.resize(g_.num_pes());
+  for (PeId pe = 0; pe < g_.num_pes(); ++pe)
+    mark_[pe].resize(g_.store(pe).capacity(), 0);
+
+  std::deque<VertexId> work;
+  auto visit = [&](VertexId v) {
+    if (!v.valid() || g_.is_free(v)) return;
+    if (v.idx >= mark_[v.pe].size()) mark_[v.pe].resize(v.idx + 1, 0);
+    if (mark_[v.pe][v.idx] == epoch_) return;
+    mark_[v.pe][v.idx] = epoch_;
+    work.push_back(v);
+  };
+  if (root.valid() && !g_.is_free(root)) visit(root);
+  while (!work.empty()) {
+    const VertexId v = work.front();
+    work.pop_front();
+    ++res.marked;
+    ++res.pause_work;
+    for (const ArgEdge& e : g_.at(v).args) {
+      ++res.pause_work;
+      visit(e.to);
+    }
+  }
+
+  // Sweep, also under the pause.
+  std::vector<VertexId> dead;
+  g_.for_each_live([&](VertexId v) {
+    ++res.pause_work;
+    if (mark_[v.pe][v.idx] != epoch_) dead.push_back(v);
+  });
+  for (VertexId w : dead) {
+    for (const ArgEdge& e : g_.at(w).args) {
+      if (e.req == ReqKind::kNone || !e.to.valid()) continue;
+      g_.at(e.to).drop_requester(w);
+    }
+  }
+  for (VertexId w : dead) g_.store(w.pe).release(w.idx);
+  res.swept = dead.size();
+  total_pause_ += res.pause_work;
+  return res;
+}
+
+}  // namespace dgr

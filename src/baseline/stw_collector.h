@@ -1,0 +1,44 @@
+// Stop-the-world baseline collector (E9).
+//
+// What any system without the paper's concurrent marker must do: halt all
+// reduction, mark synchronously from the root, sweep, resume. Used by the
+// benches to measure the pause-time / throughput cost that the decentralized
+// on-the-fly algorithm removes. The pause is reported in vertex-visit work
+// units — the same unit as one marking-task execution in the simulator — so
+// the comparison is like-for-like.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dgr {
+
+struct StwResult {
+  std::size_t marked = 0;
+  std::size_t swept = 0;
+  // Work performed while the world is stopped: vertex visits + edge scans.
+  std::uint64_t pause_work = 0;
+};
+
+class StwCollector {
+ public:
+  explicit StwCollector(Graph& g) : g_(g) {}
+
+  // Synchronous mark (from root, through args) + sweep. The caller must have
+  // stopped all mutation for the duration — that's the point.
+  StwResult collect(VertexId root);
+
+  std::uint64_t total_pause_work() const { return total_pause_; }
+  std::uint64_t collections() const { return collections_; }
+
+ private:
+  Graph& g_;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::vector<std::uint64_t>> mark_;
+  std::uint64_t total_pause_ = 0;
+  std::uint64_t collections_ = 0;
+};
+
+}  // namespace dgr

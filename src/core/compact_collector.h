@@ -1,0 +1,49 @@
+// Cycle driver for the §6 compact marking variant: wave (plus supplementary
+// waves for the cooperation queue) → restructuring. GC, irrelevant-task
+// expunging and re-prioritization only — deadlock detection needs M_T and
+// stays with the tree marker (§6: M_T runs only occasionally anyway).
+#pragma once
+
+#include <cstdint>
+
+#include "core/compact_marker.h"
+#include "core/controller.h"
+
+namespace dgr {
+
+struct CompactCycleResult {
+  std::uint64_t cycle = 0;
+  std::size_t swept = 0;
+  std::size_t expunged = 0;
+  std::size_t reprioritized = 0;
+  CompactStats stats;
+};
+
+class CompactCollector {
+ public:
+  CompactCollector(Graph& g, CompactMarker& marker, EngineHooks& hooks,
+                   VertexId root);
+
+  void set_root(VertexId root) { root_ = root; }
+  void start_cycle();
+  bool idle() const { return idle_; }
+
+  const CompactCycleResult& last() const { return last_; }
+  std::uint64_t cycles_completed() const { return cycles_; }
+  std::uint64_t total_swept() const { return total_swept_; }
+
+ private:
+  void on_wave_done();
+  void restructure();
+
+  Graph& g_;
+  CompactMarker& marker_;
+  EngineHooks& hooks_;
+  VertexId root_;
+  bool idle_ = true;
+  CompactCycleResult last_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t total_swept_ = 0;
+};
+
+}  // namespace dgr

@@ -1,0 +1,148 @@
+#include "core/compact_marker.h"
+
+#include <algorithm>
+
+namespace dgr {
+
+CompactMarker::CompactMarker(Graph& g, TaskSink& sink) : g_(g), sink_(sink) {
+  pe_.resize(g.num_pes());
+}
+
+void CompactMarker::begin(VertexId root, std::uint8_t prior) {
+  DGR_CHECK_MSG(!active_, "compact marking already active");
+  ++epoch_;
+  active_ = true;
+  done_ = false;
+  stats_.reset();
+  pending_.clear();
+  for (PeState& s : pe_) s = PeState{};
+  // The initiating PE engages itself; the wave collapses when it disengages.
+  pe_[root.pe].parent = kSelf;
+  spawn_mark(root.pe, root, prior);
+}
+
+bool CompactMarker::launch_pending_wave() {
+  DGR_CHECK(done_);
+  std::vector<std::pair<VertexId, std::uint8_t>> seeds;
+  for (const auto& [v, p] : pending_) {
+    if (!g_.at(v).live) continue;
+    if (!is_marked(v) || prior(v) < p) seeds.emplace_back(v, p);
+  }
+  pending_.clear();
+  if (seeds.empty()) return false;
+  ++stats_.waves;
+  done_ = false;
+  const PeId init = seeds.front().first.pe;
+  pe_[init].parent = kSelf;
+  for (const auto& [v, p] : seeds) spawn_mark(init, v, p);
+  return true;
+}
+
+void CompactMarker::exec(const Task& t) {
+  if (t.kind == TaskKind::kCompactMark) {
+    exec_mark(t.d, t.s.pe, t.prior);
+  } else {
+    DGR_CHECK(t.kind == TaskKind::kPeAck);
+    exec_ack(t.d.pe);
+  }
+}
+
+void CompactMarker::spawn_mark(PeId from_pe, VertexId v, std::uint8_t prior) {
+  ++pe_[from_pe].deficit;
+  Task t;
+  t.kind = TaskKind::kCompactMark;
+  t.d = v;
+  t.s = VertexId{from_pe, 0};  // sender PE for the acknowledgement
+  t.prior = prior;
+  sink_.spawn(std::move(t));
+}
+
+void CompactMarker::send_ack(PeId from_pe, PeId to_pe) {
+  Task t;
+  t.kind = TaskKind::kPeAck;
+  t.d = VertexId{to_pe, 0};
+  t.s = VertexId{from_pe, 0};
+  sink_.spawn(std::move(t));
+}
+
+void CompactMarker::engage_or_ack(PeId pe, PeId from_pe) {
+  if (pe_[pe].parent == kDisengaged) {
+    // First message while disengaged: engage to the sender; its ack is
+    // deferred until this PE disengages.
+    pe_[pe].parent = from_pe;
+  } else {
+    send_ack(pe, from_pe);
+  }
+}
+
+void CompactMarker::try_disengage(PeId pe) {
+  PeState& s = pe_[pe];
+  if (s.parent == kDisengaged || s.deficit != 0) return;
+  if (s.parent == kSelf) {
+    s.parent = kDisengaged;
+    DGR_CHECK_MSG(!done_, "duplicate compact termination");
+    done_ = true;
+    if (done_cb_) done_cb_();
+    return;
+  }
+  const PeId par = s.parent;
+  s.parent = kDisengaged;
+  send_ack(pe, par);
+}
+
+void CompactMarker::mark_children(VertexId v, std::uint8_t prior) {
+  for (const ArgEdge& e : g_.at(v).args) {
+    if (!e.to.valid()) continue;
+    const auto child_prior = static_cast<std::uint8_t>(
+        std::min<int>(prior, request_type(e.req)));
+    spawn_mark(v.pe, e.to, child_prior);
+  }
+}
+
+void CompactMarker::exec_mark(VertexId v, PeId from_pe, std::uint8_t prior) {
+  ++stats_.marks;
+  const PeId pe = v.pe;
+  const bool was_disengaged = pe_[pe].parent == kDisengaged;
+  if (was_disengaged) {
+    pe_[pe].parent = from_pe;
+  }
+  DGR_CHECK_MSG(g_.at(v).live, "compact mark reached a freed vertex");
+  MarkPlane& m = fresh_plane(v);
+  if (m.color == Color::kUnmarked) {
+    m.color = Color::kMarked;  // two-color: no transient state
+    m.prior = prior;
+    mark_children(v, prior);
+  } else if (prior > m.prior) {
+    ++stats_.remarks;
+    m.prior = prior;
+    mark_children(v, prior);
+  }
+  if (!was_disengaged) send_ack(pe, from_pe);
+  try_disengage(pe);
+}
+
+void CompactMarker::exec_ack(PeId at_pe) {
+  ++stats_.acks;
+  PeState& s = pe_[at_pe];
+  DGR_CHECK_MSG(s.deficit > 0, "acknowledgement underflow");
+  --s.deficit;
+  try_disengage(at_pe);
+}
+
+void CompactMarker::on_new_edge(VertexId parent, VertexId c,
+                                std::uint8_t edge_prior) {
+  if (!active_) return;
+  if (!is_marked(parent)) return;  // the wave will trace the edge itself
+  const auto p = static_cast<std::uint8_t>(
+      std::min<int>(prior(parent), edge_prior));
+  if (is_marked(c) && prior(c) >= p) return;
+  pending_.emplace_back(c, p ? p : std::uint8_t{1});
+}
+
+void CompactMarker::shade_fresh(VertexId parent, VertexId fresh) {
+  if (!active_) return;
+  if (!is_marked(parent)) return;
+  pending_.emplace_back(fresh, prior(parent) ? prior(parent) : std::uint8_t{1});
+}
+
+}  // namespace dgr

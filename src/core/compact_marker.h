@@ -1,0 +1,134 @@
+// The §6 space optimization: "it is possible to combine all of the mt-cnt's
+// and mt-par's into just two words on each PE."
+//
+// This variant drops the per-vertex marking tree entirely. A vertex carries
+// only a color (and priority); there is no transient state, no mt_cnt and no
+// mt_par. Termination is detected at PE granularity with Dijkstra-Scholten
+// diffusing-computation bookkeeping, which needs exactly two words per PE:
+//
+//   word 1: engagement (engaged flag + parent PE),
+//   word 2: deficit   (mark messages sent and not yet acknowledged).
+//
+// A PE processing a mark message while disengaged becomes engaged to the
+// sender; every other mark message is acknowledged immediately after
+// processing. A PE whose deficit returns to zero disengages, acknowledging
+// its engagement message; when the PE that initiated the wave disengages,
+// marking is complete.
+//
+// Mutator cooperation is simpler but weaker than the tree marker's: with
+// only two colors there is no open count to splice into, so a mutation that
+// hands a marked vertex an unmarked child QUEUES the child, and the
+// controller runs supplementary waves until the queue drains (the same
+// multi-pass structure as the rescue waves; Dijkstra's classic repeated-scan
+// idea). The trade-offs against Figs 4-1/5-1 are measured in
+// bench_compact.
+//
+// The compact marker supports M_R-style marking with priorities (garbage
+// collection, task classification); it does not build the structures M_T
+// needs, so deadlock detection stays with the tree marker — consistent with
+// §6's remark that M_T is only run occasionally anyway.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/task.h"
+#include "graph/graph.h"
+
+namespace dgr {
+
+struct CompactStats {
+  std::uint64_t marks = 0;       // mark messages processed
+  std::uint64_t acks = 0;        // acknowledgement messages processed
+  std::uint64_t remarks = 0;     // priority re-marks
+  std::uint64_t waves = 0;       // supplementary waves (cooperation queue)
+  void reset() { *this = CompactStats{}; }
+};
+
+class CompactMarker {
+ public:
+  CompactMarker(Graph& g, TaskSink& sink);
+
+  // Begin a wave from `root`. Uses plane kR's color/prior/epoch fields (the
+  // mt_cnt/mt_par words stay untouched — that is the savings).
+  void begin(VertexId root, std::uint8_t prior = 3);
+
+  bool active() const { return active_; }
+  bool done() const { return done_; }
+  void end() { active_ = false; }
+  std::uint64_t epoch() const { return epoch_; }
+
+  void set_done_callback(std::function<void()> cb) { done_cb_ = std::move(cb); }
+
+  // Engine dispatch for kCompactMark / kPeAck tasks.
+  void exec(const Task& t);
+
+  // Epoch-aware color/priority (two-color: unmarked / marked).
+  bool is_marked(VertexId v) const {
+    const MarkPlane& m = g_.at(v).plane(Plane::kR);
+    return m.epoch == epoch_ && m.color == Color::kMarked;
+  }
+  std::uint8_t prior(VertexId v) const {
+    const MarkPlane& m = g_.at(v).plane(Plane::kR);
+    return m.epoch == epoch_ ? m.prior : 0;
+  }
+
+  // ---- Mutator cooperation (two-color write barrier). ----
+  // New edge parent→c: if the wave may already have passed the parent,
+  // queue c for a supplementary wave.
+  void on_new_edge(VertexId parent, VertexId c, std::uint8_t edge_prior);
+  // Fresh-from-free-list shading (expand-node analogue).
+  void shade_fresh(VertexId parent, VertexId fresh);
+
+  // Launch a supplementary wave over queued vertices; returns false if the
+  // queue was empty (the cycle can move to restructuring).
+  bool launch_pending_wave();
+
+  const CompactStats& stats() const { return stats_; }
+
+  // The §6 accounting: marking words per PE (engagement + deficit) vs the
+  // tree marker's per-vertex mt_cnt + mt_par.
+  static constexpr std::size_t kWordsPerPe = 2;
+
+ private:
+  struct PeState {
+    // Word 1: engagement. kDisengaged, or the parent PE id, or kSelf for
+    // the wave initiator.
+    std::uint32_t parent = kDisengaged;
+    // Word 2: outstanding mark messages sent by this PE.
+    std::uint32_t deficit = 0;
+  };
+  static constexpr std::uint32_t kDisengaged = 0xffffffffu;
+  static constexpr std::uint32_t kSelf = 0xfffffffeu;
+
+  void exec_mark(VertexId v, PeId from_pe, std::uint8_t prior);
+  void exec_ack(PeId at_pe);
+  void spawn_mark(PeId from_pe, VertexId v, std::uint8_t prior);
+  void send_ack(PeId from_pe, PeId to_pe);
+  void engage_or_ack(PeId pe, PeId from_pe);
+  void try_disengage(PeId pe);
+  void mark_children(VertexId v, std::uint8_t prior);
+
+  MarkPlane& fresh_plane(VertexId v) {
+    MarkPlane& m = g_.at(v).plane(Plane::kR);
+    if (m.epoch != epoch_) {
+      m.epoch = epoch_;
+      m.color = Color::kUnmarked;
+      m.prior = 0;
+    }
+    return m;
+  }
+
+  Graph& g_;
+  TaskSink& sink_;
+  std::uint64_t epoch_ = 0;
+  bool active_ = false;
+  bool done_ = false;
+  std::vector<PeState> pe_;
+  std::vector<std::pair<VertexId, std::uint8_t>> pending_;
+  CompactStats stats_;
+  std::function<void()> done_cb_;
+};
+
+}  // namespace dgr

@@ -1,0 +1,161 @@
+// The marking-cycle controller (Hudak §4, §5, §6).
+//
+// Drives the endless cycle the paper prescribes:
+//
+//   [optionally M_T]  →  M_R  →  restructuring phase
+//
+// M_T must run BEFORE M_R for deadlock detection to be sound (Theorem 2's
+// proof depends on it), and because M_T is only needed for deadlock it can be
+// run only occasionally (§6: "our approach is to execute M_T only
+// occasionally").
+//
+// The restructuring phase is left open by the paper ("tailored to a
+// particular system", §4); ours performs, per DESIGN.md §5:
+//   (a) sweep: unmarked_R live vertices → the owner's free list (Property 1),
+//   (b) expunge: pooled/in-flight reduction tasks with d ∈ GAR' (Property 6),
+//   (c) reprioritize: pooled task priority := prior(d) (Properties 3-5),
+//   (d) report deadlocked vertices R'_v − T' (Property 2').
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/marker.h"
+#include "core/task.h"
+#include "graph/task_ref.h"
+
+namespace dgr {
+
+struct CycleOptions {
+  bool detect_deadlock = true;  // run M_T before M_R
+};
+
+struct CycleResult {
+  std::uint64_t cycle = 0;
+  bool ran_mt = false;
+  // False when mutator cooperation had to taint the T plane; deadlock
+  // reporting is skipped for such a cycle (it retries next time).
+  bool deadlock_report_valid = false;
+  std::size_t swept = 0;          // vertices returned to F
+  std::size_t expunged = 0;       // irrelevant tasks deleted
+  std::size_t reprioritized = 0;  // pooled tasks re-prioritized
+  std::vector<VertexId> deadlocked;  // DL'_v members
+  MarkStats stats_r;
+  MarkStats stats_t;
+};
+
+// What the controller needs from the engine: access to the task population
+// (pools plus in-transit messages) and a quiescence fence for the brief
+// restructuring phase (a no-op in the simulator; a short barrier in the
+// threaded engine — the paper requires only the MARK phase be concurrent).
+class EngineHooks {
+ public:
+  virtual ~EngineHooks() = default;
+
+  // Append <s,d> for every unexecuted reduction task: pooled and in transit.
+  // This is the in-transit accounting the paper defers to [5].
+  virtual void collect_task_refs(std::vector<TaskRef>& out) = 0;
+
+  // Delete every reduction task for which kill(task) is true; return count.
+  virtual std::size_t expunge_tasks(
+      const std::function<bool(const Task&)>& kill) = 0;
+
+  // Reassign pool priorities; returns number of tasks whose priority changed.
+  virtual std::size_t reprioritize_tasks(
+      const std::function<std::uint8_t(const Task&)>& prio) = 0;
+
+  virtual void quiesce_begin() {}
+  virtual void quiesce_end() {}
+  virtual void on_cycle_complete(const CycleResult&) {}
+};
+
+class Controller {
+ public:
+  Controller(Graph& g, Marker& marker, EngineHooks& hooks, VertexId root);
+
+  void set_root(VertexId root) { roots_.assign(1, root); }
+  VertexId root() const { return roots_.empty() ? VertexId::invalid() : roots_[0]; }
+
+  // Multi-user operation (§3.1 footnote): several independent computations,
+  // each with its own root, share the PEs and the collector. M_R marks from
+  // an auxiliary "user root" whose args are all the roots (vitally — every
+  // user's answer is essential); deadlock reports then cover each user's
+  // region independently.
+  void set_roots(std::vector<VertexId> roots) { roots_ = std::move(roots); }
+  const std::vector<VertexId>& roots() const { return roots_; }
+
+  // Kick off a cycle; phases advance via the marker's done callback, i.e.
+  // entirely from within task executions — there is no central polling.
+  void start_cycle(const CycleOptions& opt = {});
+
+  bool idle() const { return phase_.load(std::memory_order_acquire) == Phase::kIdle; }
+
+  // Deferred restructuring for the threaded engine: with this on, the final
+  // plane's completion parks the cycle in a "restructure due" state instead
+  // of restructuring inline (the completing task still holds its vertex
+  // lock; restructuring must run lock-free). The engine then calls
+  // run_restructure() from a clean context.
+  void set_deferred_restructure(bool on) { defer_restructure_ = on; }
+  bool restructure_due() const {
+    return phase_.load(std::memory_order_acquire) == Phase::kRestructureDue;
+  }
+  void run_restructure();
+
+  // When continuous, a new cycle starts as soon as one finishes — the
+  // paper's "this cycle is repeated endlessly".
+  void set_continuous(bool on, CycleOptions opt = {}) {
+    continuous_ = on;
+    continuous_opt_ = opt;
+  }
+
+  // Observer invoked at the end of every cycle (after restructuring),
+  // in addition to EngineHooks::on_cycle_complete.
+  void set_cycle_observer(std::function<void(const CycleResult&)> fn) {
+    observer_ = std::move(fn);
+  }
+
+  // Debug: cross-check every sweep against the sequential oracle (O(V+E)
+  // per cycle); aborts on the first reachable vertex about to be freed.
+  void set_paranoid_sweep_check(bool on) { paranoid_ = on; }
+
+  const CycleResult& last() const { return last_; }
+  std::uint64_t cycles_completed() const { return cycles_; }
+  std::uint64_t total_swept() const { return total_swept_; }
+  std::uint64_t total_expunged() const { return total_expunged_; }
+
+ private:
+  enum class Phase { kIdle, kMarkT, kMarkR, kRestructureDue };
+
+  void on_plane_done(Plane p);
+  void start_mt();
+  void start_mr();
+  void restructure();
+  VertexId build_task_roots();
+
+  // The effective M_R root: the single user root, or the aux uroot fanning
+  // out to all of them.
+  VertexId marking_root();
+
+  Graph& g_;
+  Marker& marker_;
+  EngineHooks& hooks_;
+  std::vector<VertexId> roots_;
+  VertexId uroot_ = VertexId::invalid();
+  VertexId troot_ = VertexId::invalid();
+  std::atomic<Phase> phase_{Phase::kIdle};
+  bool defer_restructure_ = false;
+  bool paranoid_ = false;
+  CycleOptions opt_;
+  bool continuous_ = false;
+  CycleOptions continuous_opt_;
+  std::function<void(const CycleResult&)> observer_;
+  CycleResult last_;
+  CycleResult cur_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t total_swept_ = 0;
+  std::uint64_t total_expunged_ = 0;
+};
+
+}  // namespace dgr

@@ -1,0 +1,139 @@
+// Cooperating mutator primitives (Hudak §4.2, Fig 4-2).
+//
+// All connectivity mutations performed while a marking phase may be active
+// MUST go through this class. Each primitive splices extra marking activity
+// into the marking tree so that the marking invariants (§5.4.1) hold:
+//
+//   1. every transient vertex has ≥1 outstanding mark task per child,
+//   2. a marked vertex never points to an unmarked vertex,
+//   3. mt_cnt(v) counts exactly the unreturned mark tasks spawned from v.
+//
+// The paper states the primitives for the basic marker; here each primitive
+// cooperates with BOTH planes, because M_R and M_T trace different edge sets:
+//   plane kR edges:  args(v)                                   (all of them)
+//   plane kT edges:  requested(v) ∪ (args(v) − req-args(v))
+//
+// The paper's add-reference(a,b,c) assumes c is reachable from a through a
+// single intermediate b. Real reductions (e.g. the S-combinator rewrite)
+// attach grandchildren of the spine, so we generalize: the caller passes the
+// current access chain from the new parent down to c; cooperation finds the
+// deepest non-unmarked ancestor h on that chain. By invariant 2, if any
+// ancestor is non-unmarked while c is unmarked, h is transient, and marking
+// activity can be spliced below h exactly as Fig 4-2 does with b.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/compact_marker.h"
+#include "core/marker.h"
+#include "graph/graph.h"
+
+namespace dgr {
+
+class Mutator {
+ public:
+  Mutator(Graph& g, Marker& marker) : g_(g), marker_(marker) {}
+
+  // Route cooperation to the §6 compact marker as well (both collectors can
+  // be wired; each consults only its own activity flag).
+  void set_compact_marker(CompactMarker* cm) { compact_ = cm; }
+
+  // ---- Ablation switches (benchmarks only). ----
+  // Disables the Fig 4-2 splicing (add/expand/acquire degrade to raw
+  // connectivity changes): reproduces the §4.2 failure mode at scale.
+  void set_cooperation_enabled(bool on) { coop_ = on; }
+  // Disables the in-transit accounting (epoch stamps, stale waiters):
+  // reproduces false deadlock reports under concurrent reduction.
+  void set_transit_accounting(bool on) { transit_ = on; }
+
+  // ---- The paper's three primitives (Fig 4-2). ----
+
+  // delete-reference(a,b): remove b from args(a). Never needs marking help
+  // (dropping edges cannot unmark; over-marking is resolved next cycle).
+  void delete_reference(VertexId a, VertexId b);
+
+  // add-reference(a,b,c): connect c to a, where b ∈ children(a) and
+  // c ∈ children(b) — the exact form in the paper. `k` is the request kind
+  // of the new edge.
+  void add_reference(VertexId a, VertexId b, VertexId c, ReqKind k);
+
+  // Generalized add-reference: connect c to a where `chain` is the current
+  // access path a = chain[0] → chain[1] → ... → c (c excluded). Must hold:
+  // each chain[i+1] ∈ children(chain[i]) and c ∈ children(chain.back()).
+  void add_reference_via(VertexId a, std::span<const VertexId> chain,
+                         VertexId c, ReqKind k);
+
+  // expand-node(a, g): splice freshly allocated vertices below a. The
+  // vertices in `fresh` must have just been taken from the free list, with
+  // their own args already wired (only to each other or to vertices
+  // currently reachable from a). Edges from a to entry vertices of the
+  // subgraph must be added afterwards with add_reference_via / connect_root.
+  // Shades the fresh vertices per a's color in both planes (Fig 4-2).
+  void expand_node(VertexId a, std::span<const VertexId> fresh);
+
+  // ---- Request-state mutations (§3.2 / §5.3). ----
+
+  // Acquired reference: x gains an edge to c that arrived as a node VALUE
+  // (a cons cell or list field handed over by a reply) rather than through a
+  // traversable access chain. The sender's retained edges guarantee c stays
+  // reachable, but no chain is available for Fig 4-2's splice, so:
+  //   x unmarked   → nothing (x's own trace will find c),
+  //   x transient  → spawn mark(c,x) and open x's count (invariant 1),
+  //   x marked     → queue c for the plane's supplementary rescue wave.
+  // Applies to both planes; the new edge is requested with strength k and
+  // epoch-stamped for the in-transit rule.
+  void acquire_reference(VertexId x, VertexId c, ReqKind k);
+
+  // x requests the value of existing arg y with strength k (kNone→k).
+  // T-plane connectivity changes (x↦y removed, y↦x added) are covered by
+  // task reachability of the accompanying request task; see DESIGN.md.
+  void request_arg(VertexId x, VertexId y, ReqKind k);
+  // Index-based variants (duplicate-edge-safe).
+  void request_arg_at(VertexId x, std::size_t arg_idx, ReqKind k);
+  void dereference_at(VertexId x, std::size_t arg_idx);
+  void delete_reference_at(VertexId x, std::size_t arg_idx);
+
+  // Priority upgrade eager→vital: deferred to the next marking cycle
+  // (the paper's §5.3 option (b)); pure bookkeeping here.
+  void upgrade_to_vital(VertexId x, VertexId y);
+
+  // Dereference (§3.2): x abandons its eager request of y — y is removed
+  // from req-args_e(x) AND from args(x), and x from requested(y). Tasks in
+  // the abandoned subcomputation become irrelevant and are expunged by the
+  // next restructuring phase.
+  void dereference(VertexId x, VertexId y);
+
+  // y replies to requester x with val: x's edge reverts to unrequested
+  // (the request is complete), val recorded on the edge.
+  void reply(VertexId y, VertexId x, const Value& val);
+
+  Marker& marker() { return marker_; }
+
+ private:
+  // Per-plane cooperation for a new edge parent→c whose access chain is
+  // `chain` (parent first). Applies Fig 4-2's case analysis.
+  void cooperate_new_edge(Plane plane, VertexId parent,
+                          std::span<const VertexId> chain, VertexId c,
+                          std::uint8_t edge_prior);
+
+  // Tag an edge just requested while the M_T wave is in flight (in-transit
+  // accounting; see ArgEdge::req_epoch).
+  void stamp_request_epoch(ArgEdge& e);
+
+ public:
+  // Record waiters that v is about to drop from requested(v) (reply or
+  // dereference). While an M_T wave is in flight they move to
+  // stale_requested(v) so the snapshot's ↦-edges survive until traced.
+  void record_stale_waiter(VertexId v, VertexId waiter);
+
+ private:
+
+  Graph& g_;
+  Marker& marker_;
+  CompactMarker* compact_ = nullptr;
+  bool coop_ = true;
+  bool transit_ = true;
+};
+
+}  // namespace dgr

@@ -1,0 +1,126 @@
+#include "core/invariants.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+namespace dgr {
+
+namespace {
+
+std::string vid_str(VertexId v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%u:%u", v.pe, v.idx);
+  return buf;
+}
+
+template <typename F>
+void for_each_child(Plane plane, const Vertex& vx, F&& fn) {
+  if (plane == Plane::kR) {
+    for (const ArgEdge& e : vx.args)
+      if (e.to.valid()) fn(e.to);
+  } else {
+    for (VertexId r : vx.requested)
+      if (r.valid()) fn(r);
+    for (const ArgEdge& e : vx.args)
+      if (e.req == ReqKind::kNone && e.to.valid()) fn(e.to);
+  }
+}
+
+template <typename F>
+void for_each_allocated(const Graph& g, F&& fn) {
+  for (PeId pe = 0; pe < g.num_pes(); ++pe) {
+    const Store& s = g.store(pe);
+    for (std::uint32_t i = 0; i < s.capacity(); ++i)
+      if (!s.is_free(i)) fn(VertexId{pe, i});
+  }
+}
+
+}  // namespace
+
+InvariantReport check_marking_invariants(const Graph& g, const Marker& marker,
+                                         Plane plane,
+                                         const std::vector<Task>& pending) {
+  InvariantReport rep;
+
+  std::unordered_map<std::uint64_t, std::uint64_t> marks_to;    // by dest d
+  std::unordered_map<std::uint64_t, std::uint64_t> marks_from;  // by parent s
+  std::unordered_map<std::uint64_t, std::uint64_t> returns_to;  // by dest d
+  for (const Task& t : pending) {
+    if (t.plane != plane) continue;
+    if (t.kind == TaskKind::kMark) {
+      ++marks_to[t.d.pack()];
+      if (!t.s.is_rootpar()) ++marks_from[t.s.pack()];
+    } else if (t.kind == TaskKind::kMarkReturn) {
+      if (!t.d.is_rootpar()) ++returns_to[t.d.pack()];
+    }
+  }
+
+  // transient children indexed by marking-tree parent.
+  std::unordered_map<std::uint64_t, std::uint64_t> transient_kids;
+  for_each_allocated(g, [&](VertexId v) {
+    if (marker.is_transient(plane, v)) {
+      const VertexId par = g.at(v).plane(plane).mt_par;
+      if (par.valid() && !par.is_rootpar()) ++transient_kids[par.pack()];
+    }
+  });
+
+  auto fail = [&](VertexId v, const char* which, const std::string& extra) {
+    rep.ok = false;
+    rep.what = std::string("marking invariant ") + which + " violated at " +
+               vid_str(v) + (extra.empty() ? "" : ": " + extra);
+  };
+
+  // Invariants 1 and 2 are checked strictly only for plane kR, whose edge
+  // set (args) mutates exclusively through the cooperating primitives. The
+  // kT edge set also changes when requests are issued and replied to —
+  // mutations the paper explicitly exempts from cooperation (§5.3), whose
+  // liveness rests on the reduction axioms (task endpoints remain inside the
+  // T-closure) rather than on the structural invariants. For kT only the
+  // counter invariant (3) is structural.
+  const bool structural = plane == Plane::kR;
+
+  for_each_allocated(g, [&](VertexId v) {
+    if (!rep.ok) return;
+    const Vertex& vx = g.at(v);
+    const Color c = marker.color(plane, v);
+
+    if (c == Color::kTransient) {
+      // Invariant 1.
+      if (structural)
+        for_each_child(plane, vx, [&](VertexId ch) {
+          if (!rep.ok) return;
+          if (marker.color(plane, ch) == Color::kUnmarked &&
+              marks_to.find(ch.pack()) == marks_to.end() &&
+              !marker.is_rescue_queued(plane, ch)) {
+            fail(v, "1", "uncovered unmarked child " + vid_str(ch));
+          }
+        });
+      // Invariant 3.
+      const std::uint64_t expected = marks_from[v.pack()] +
+                                     returns_to[v.pack()] +
+                                     transient_kids[v.pack()];
+      const std::uint64_t cnt = vx.plane(plane).mt_cnt;
+      if (cnt != expected) {
+        fail(v, "3",
+             "mt_cnt=" + std::to_string(cnt) +
+                 " expected=" + std::to_string(expected));
+      }
+    } else if (c == Color::kMarked && structural) {
+      // Invariant 2, weakened for acquired references: a marked vertex may
+      // point at an unmarked child only while that child is covered by a
+      // pending mark task or the rescue queue (supplementary wave).
+      for_each_child(plane, vx, [&](VertexId ch) {
+        if (!rep.ok) return;
+        if (marker.color(plane, ch) == Color::kUnmarked &&
+            marks_to.find(ch.pack()) == marks_to.end() &&
+            !marker.is_rescue_queued(plane, ch)) {
+          fail(v, "2", "unmarked child " + vid_str(ch));
+        }
+      });
+    }
+  });
+
+  return rep;
+}
+
+}  // namespace dgr

@@ -1,0 +1,32 @@
+// Runtime checker for the marking invariants of Hudak §5.4.1:
+//
+//   1. transient(v) ⇒ every child of v is covered: it is non-unmarked or has
+//      an outstanding mark task addressed to it,
+//   2. marked(v) ⇒ no child of v is unmarked,
+//   3. mt_cnt(v) equals the number of unreturned mark tasks spawned from v,
+//      i.e. pending mark(·, par=v) + pending return(v) + transient vertices
+//      whose mt_par is v.
+//
+// "children" is plane-dependent: args(v) for M_R; requested(v) ∪
+// (args(v) − req-args(v)) for M_T. The checker runs between atomic task
+// executions in the simulator, where global state is consistent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/marker.h"
+#include "core/task.h"
+
+namespace dgr {
+
+struct InvariantReport {
+  bool ok = true;
+  std::string what;
+};
+
+InvariantReport check_marking_invariants(const Graph& g, const Marker& marker,
+                                         Plane plane,
+                                         const std::vector<Task>& pending);
+
+}  // namespace dgr

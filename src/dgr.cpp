@@ -1,0 +1,91 @@
+#include "dgr.h"
+
+namespace dgr {
+
+System::System(const std::string& source, SystemOptions opt) : opt_(opt) {
+  DGR_CHECK(opt.pes >= 1);
+  graph_ = std::make_unique<Graph>(opt.pes, opt.store_capacity);
+  if (opt.store_capacity > 0)
+    for (PeId pe = 0; pe < opt.pes; ++pe)
+      graph_->store(pe).set_fixed_capacity(true);
+
+  SimOptions sopt;
+  sopt.seed = opt.seed;
+  sopt.max_latency = opt.message_latency;
+  engine_ = std::make_unique<SimEngine>(*graph_, sopt);
+
+  MachineOptions mopt;
+  mopt.speculate_if = opt.speculate_if;
+  machine_ = std::make_unique<Machine>(*graph_, engine_->mutator(), *engine_,
+                                       Program::from_source(source), mopt);
+  root_ = machine_->load_main();
+  engine_->set_root(root_);
+  engine_->set_reducer([this](const Task& t) { machine_->exec(t); });
+
+  if (opt.compact_collector) {
+    CompactCollector& cc = engine_->enable_compact_collector();
+    cc.set_root(root_);
+    // Exhaustion or continuous mode drives compact cycles from run().
+  }
+  if (opt.store_capacity > 0) {
+    machine_->set_exhaustion_handler([this] {
+      if (opt_.compact_collector) {
+        if (engine_->compact_collector().idle())
+          engine_->compact_collector().start_cycle();
+      } else if (engine_->controller().idle()) {
+        CycleOptions c;
+        c.detect_deadlock = false;
+        engine_->controller().start_cycle(c);
+      }
+    });
+  }
+}
+
+std::optional<Value> System::run(std::uint64_t max_steps) {
+  if (!demanded_) {
+    machine_->demand(root_);
+    demanded_ = true;
+    if (opt_.continuous_gc && !opt_.compact_collector) {
+      CycleOptions c;
+      c.detect_deadlock = opt_.detect_deadlock;
+      engine_->controller().set_continuous(true, c);
+      engine_->controller().start_cycle(c);
+    }
+  }
+  std::uint64_t n = 0;
+  while (!machine_->result_of(root_).has_value() && n < max_steps) {
+    if (opt_.continuous_gc && opt_.compact_collector &&
+        engine_->compact_collector().idle()) {
+      engine_->compact_collector().start_cycle();
+    }
+    if (!engine_->step()) break;
+    ++n;
+  }
+  engine_->controller().set_continuous(false);
+  engine_->run(max_steps);
+  return machine_->result_of(root_);
+}
+
+std::vector<VertexId> System::find_deadlocks() {
+  CycleOptions c;
+  c.detect_deadlock = true;
+  engine_->controller().start_cycle(c);
+  engine_->run_until_cycle_done();
+  return engine_->controller().last().deadlocked;
+}
+
+std::uint64_t System::gc_cycles() {
+  std::uint64_t n = engine_->controller().cycles_completed();
+  if (opt_.compact_collector)
+    n += engine_->compact_collector().cycles_completed();
+  return n;
+}
+
+std::uint64_t System::vertices_reclaimed() {
+  std::uint64_t n = engine_->controller().total_swept();
+  if (opt_.compact_collector)
+    n += engine_->compact_collector().total_swept();
+  return n;
+}
+
+}  // namespace dgr

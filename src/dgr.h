@@ -1,0 +1,87 @@
+// dgr.h — umbrella header and high-level facade for the library.
+//
+// The facade wires the standard stack (partitioned graph → engine → marker →
+// controller → reduction machine) behind a handful of options, for users who
+// want "run this program on N simulated PEs with the concurrent collector"
+// without assembling the pieces:
+//
+//   dgr::System sys("def main() = 6 * 7;", {});
+//   auto v = sys.run();                       // 42
+//
+// Everything remains reachable for advanced use: sys.engine(), sys.graph(),
+// sys.machine(), sys.controller().
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "baseline/refcount_collector.h"
+#include "baseline/stw_collector.h"
+#include "core/compact_collector.h"
+#include "core/controller.h"
+#include "core/cooperation.h"
+#include "core/invariants.h"
+#include "core/marker.h"
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "graph/oracle.h"
+#include "reduction/machine.h"
+#include "runtime/sim_engine.h"
+#include "runtime/thread_engine.h"
+
+namespace dgr {
+
+struct SystemOptions {
+  std::uint32_t pes = 4;           // processing elements
+  std::uint64_t seed = 1;          // scheduler seed (reproducible runs)
+  std::uint32_t store_capacity = 0;  // slots per PE; 0 = grow on demand
+  std::uint32_t message_latency = 0;  // cross-PE delivery delay (sim steps)
+
+  bool continuous_gc = true;    // endless mark/restructure cycles
+  bool detect_deadlock = false;  // run M_T each cycle (§6: occasional)
+  bool speculate_if = false;     // eager branches (§3.2)
+  bool compact_collector = false;  // the §6 two-words-per-PE variant
+};
+
+class System {
+ public:
+  // Compiles `source` (see README for the language) and loads `main`.
+  // Throws lang::ParseError / CompileError on bad input.
+  explicit System(const std::string& source, SystemOptions opt = {});
+
+  // Demand main's value and run to quiescence. Returns nullopt if the
+  // program wedges (use find_deadlocks() to ask why); check error() for
+  // runtime errors (division by zero, type errors).
+  std::optional<Value> run(std::uint64_t max_steps = UINT64_MAX);
+
+  bool has_error() const { return machine_->has_error(); }
+  const std::string& error() const { return machine_->error(); }
+
+  // Run one M_T + M_R detection cycle and return DL'_v (Property 2').
+  std::vector<VertexId> find_deadlocks();
+
+  // Collector tallies.
+  std::uint64_t gc_cycles();
+  std::uint64_t vertices_reclaimed();
+  std::uint64_t tasks_expunged() {
+    return engine_->controller().total_expunged();
+  }
+
+  // Full access for advanced use.
+  Graph& graph() { return *graph_; }
+  SimEngine& engine() { return *engine_; }
+  Machine& machine() { return *machine_; }
+  Controller& controller() { return engine_->controller(); }
+  VertexId root() const { return root_; }
+
+ private:
+  SystemOptions opt_;
+  std::unique_ptr<Graph> graph_;
+  std::unique_ptr<SimEngine> engine_;
+  std::unique_ptr<Machine> machine_;
+  VertexId root_;
+  bool demanded_ = false;
+};
+
+}  // namespace dgr

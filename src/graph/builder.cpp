@@ -1,0 +1,157 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+namespace dgr {
+
+namespace {
+
+ReqKind pick_kind(Rng& rng, const RandomGraphOptions& opt) {
+  const double u = rng.uniform01();
+  if (u < opt.p_vital) return ReqKind::kVital;
+  if (u < opt.p_vital + opt.p_eager) return ReqKind::kEager;
+  return ReqKind::kNone;
+}
+
+}  // namespace
+
+BuiltGraph build_random_graph(Graph& g, const RandomGraphOptions& opt) {
+  DGR_CHECK(opt.num_vertices >= 1);
+  Rng rng(opt.seed);
+  BuiltGraph out;
+  out.vertices.reserve(opt.num_vertices);
+  for (std::uint32_t i = 0; i < opt.num_vertices; ++i)
+    out.vertices.push_back(g.alloc_rr(OpCode::kData));
+  out.root = out.vertices[0];
+
+  // Split vertices into an "attached" prefix (wired below the root) and a
+  // detached remainder that becomes garbage unless a task reaches it.
+  const auto attached = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(
+             static_cast<double>(opt.num_vertices) * (1.0 - opt.p_detached)));
+
+  // Give every attached non-root vertex one guaranteed in-edge from an
+  // earlier attached vertex, so the attached region is root-connected.
+  for (std::uint32_t i = 1; i < attached; ++i) {
+    const VertexId from = out.vertices[rng.below(i)];
+    connect(g, from, out.vertices[i], pick_kind(rng, opt));
+  }
+
+  // Extra random edges (possibly cyclic, possibly into the detached region).
+  const auto extra = static_cast<std::uint64_t>(
+      opt.avg_out_degree * static_cast<double>(opt.num_vertices));
+  for (std::uint64_t e = 0; e < extra; ++e) {
+    const VertexId from = out.vertices[rng.below(opt.num_vertices)];
+    VertexId to = out.vertices[rng.below(opt.num_vertices)];
+    if (!opt.cyclic) {
+      // Enforce a forward orientation to keep the graph acyclic.
+      std::uint32_t fi = 0, ti = 0;
+      for (std::uint32_t i = 0; i < opt.num_vertices; ++i) {
+        if (out.vertices[i] == from) fi = i;
+        if (out.vertices[i] == to) ti = i;
+      }
+      if (ti <= fi) continue;
+    }
+    connect(g, from, to, pick_kind(rng, opt));
+  }
+
+  // Pooled tasks; destinations across the whole vertex population so that
+  // vital, eager, reserve and irrelevant tasks all occur.
+  for (std::uint32_t t = 0; t < opt.num_tasks; ++t) {
+    const VertexId d = out.vertices[rng.below(opt.num_vertices)];
+    // Half the tasks have a remembered source ("<s,d>"), half are "<-,d>".
+    VertexId s = VertexId::invalid();
+    if (rng.chance(0.5)) s = out.vertices[rng.below(opt.num_vertices)];
+    out.tasks.push_back(TaskRef{s, d});
+  }
+  return out;
+}
+
+DeadlockScenario build_deadlock_scenario(Graph& g) {
+  DeadlockScenario sc;
+  sc.root = g.alloc(0, OpCode::kAdd);
+  sc.x = g.alloc(g.num_pes() > 1 ? 1 : 0, OpCode::kAdd);
+  sc.busy = g.alloc(0, OpCode::kData);
+
+  // root vitally awaits both x and busy; external demand on root.
+  g.at(sc.root).requested.push_back(VertexId::invalid());
+  connect(g, sc.root, sc.x, ReqKind::kVital);
+  connect(g, sc.root, sc.busy, ReqKind::kVital);
+
+  // x = x + 1: the self-edge is vital (x awaits its own value, Fig 3-1). The
+  // "+1" literal has already replied and been consumed, so the only
+  // remaining dependency is the self-loop.
+  connect(g, sc.x, sc.x, ReqKind::kVital);
+
+  // busy still has a pending task, so task activity can reach root but never
+  // x: DL_v = {x}.
+  sc.tasks.push_back(TaskRef{sc.root, sc.busy});
+  return sc;
+}
+
+TaskTypeScenario build_task_type_scenario(Graph& g) {
+  TaskTypeScenario sc;
+  auto pe = [&](std::uint32_t i) { return static_cast<PeId>(i % g.num_pes()); };
+
+  sc.root = g.alloc(pe(0), OpCode::kIf);
+  sc.p = g.alloc(pe(1), OpCode::kIf);
+  sc.a_plus_1 = g.alloc(pe(2), OpCode::kAdd);
+  sc.abc = g.alloc(pe(3), OpCode::kAdd);
+  sc.a = g.alloc(pe(0), OpCode::kData);
+  sc.b = g.alloc(pe(1), OpCode::kData);
+  sc.c = g.alloc(pe(2), OpCode::kData);
+  sc.d = g.alloc(pe(3), OpCode::kData);
+
+  g.at(sc.root).requested.push_back(VertexId::invalid());
+
+  // Outer if: predicate p vitally requested; then-branch d eagerly
+  // speculated; else-branch c merely a data dependency not yet requested.
+  connect(g, sc.root, sc.p, ReqKind::kVital);
+  connect(g, sc.root, sc.d, ReqKind::kEager);
+  connect(g, sc.root, sc.c, ReqKind::kNone);
+
+  // Inner if p = if true then (a+1) else (a+b+c): the predicate resolved
+  // true, so (a+1) is now vitally requested and (a+b+c) has been
+  // *dereferenced* — removed from req-args_e(p) and from args(p), and p
+  // removed from requested(abc) (§3.2). abc and b thereby become garbage;
+  // tasks previously spawned into that subcomputation are irrelevant.
+  connect(g, sc.p, sc.a_plus_1, ReqKind::kVital);
+
+  // a+1 vitally needs a (shared with the dereferenced branch).
+  connect(g, sc.a_plus_1, sc.a, ReqKind::kVital);
+
+  // The dereferenced eager branch a+b+c still holds its own edges, eagerly
+  // requested while it was running.
+  connect(g, sc.abc, sc.a, ReqKind::kEager);
+  connect(g, sc.abc, sc.b, ReqKind::kEager);
+  connect(g, sc.abc, sc.c, ReqKind::kEager);
+
+  // Pooled tasks, one per interesting destination (cf. Fig 3-2 triangles):
+  sc.tasks.push_back(TaskRef{sc.p, sc.a_plus_1});    // vital:     d ∈ R_v
+  sc.tasks.push_back(TaskRef{sc.root, sc.d});        // eager:     d ∈ R_e − R_v
+  sc.tasks.push_back(TaskRef{sc.abc, sc.b});         // irrelevant: d ∈ GAR
+  sc.tasks.push_back(TaskRef{sc.abc, sc.c});         // reserve:   d ∈ R_r − R_e − R_v
+  return sc;
+}
+
+std::vector<VertexId> build_chain(Graph& g, std::uint32_t length, ReqKind k) {
+  DGR_CHECK(length >= 1);
+  std::vector<VertexId> chain;
+  chain.reserve(length);
+  for (std::uint32_t i = 0; i < length; ++i)
+    chain.push_back(g.alloc_rr(OpCode::kData));
+  for (std::uint32_t i = 0; i + 1 < length; ++i)
+    connect(g, chain[i], chain[i + 1], k);
+  return chain;
+}
+
+VertexId build_tree(Graph& g, std::uint32_t depth, ReqKind k) {
+  const VertexId v = g.alloc_rr(OpCode::kData);
+  if (depth > 0) {
+    connect(g, v, build_tree(g, depth - 1, k), k);
+    connect(g, v, build_tree(g, depth - 1, k), k);
+  }
+  return v;
+}
+
+}  // namespace dgr

@@ -1,0 +1,77 @@
+// Synthetic graph construction for tests and benchmarks: fixed scenarios from
+// the paper's figures and seeded random graph families.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/task_ref.h"
+#include "util/rng.h"
+
+namespace dgr {
+
+// A generated workload: the graph topology plus the root and the initial
+// task population (the contents of the taskpools for M_T / classification).
+struct BuiltGraph {
+  VertexId root;
+  std::vector<VertexId> vertices;  // all allocated vertices, incl. garbage
+  std::vector<TaskRef> tasks;
+};
+
+struct RandomGraphOptions {
+  std::uint32_t num_vertices = 100;
+  double avg_out_degree = 2.0;
+  // Probability that an edge is a vital / eager request (rest unrequested).
+  double p_vital = 0.4;
+  double p_eager = 0.3;
+  // Fraction of vertices deliberately left unreachable from the root
+  // (pre-seeded garbage).
+  double p_detached = 0.2;
+  // Number of pooled tasks to generate; destinations drawn from all vertices
+  // so irrelevant tasks arise naturally.
+  std::uint32_t num_tasks = 16;
+  // Allow self-loops / back edges (cycles) — the structures reference
+  // counting cannot reclaim.
+  bool cyclic = true;
+  std::uint64_t seed = 1;
+};
+
+// Builds a random graph across all PEs of `g`. Vertices are distributed
+// round-robin so edges cross partition boundaries liberally.
+BuiltGraph build_random_graph(Graph& g, const RandomGraphOptions& opt);
+
+// The paper's Figure 3-1: x = x + 1, embedded next to a still-busy sibling
+// computation so that the deadlocked region is a proper subset of R_v.
+// x is the "+" vertex with the vital self-edge (x ∈ req-args_v(x)): it awaits
+// its own value, task activity has ceased there, and no task can ever reach
+// it again — x ∈ DL_v = R_v − T.
+struct DeadlockScenario {
+  VertexId root;  // vitally awaits both x and busy
+  VertexId x;     // the deadlocked self-dependent vertex
+  VertexId busy;  // a live vertex with a pending task (keeps root ∈ T)
+  std::vector<TaskRef> tasks;
+};
+DeadlockScenario build_deadlock_scenario(Graph& g);
+
+// The paper's Figure 3-2: "if p then d else c, where
+// p = if true then (a+1) else (a+b+c)". Builds the post-predicate state in
+// which vital, eager, irrelevant and reserve tasks all coexist.
+struct TaskTypeScenario {
+  VertexId root;       // outer if
+  VertexId p;          // inner if (predicate), now resolved true
+  VertexId a_plus_1;   // vitally needed by p's taken branch
+  VertexId abc;        // dereferenced eager branch → its tasks irrelevant
+  VertexId a, b, c, d;
+  std::vector<TaskRef> tasks;  // one pooled task per interesting destination
+};
+TaskTypeScenario build_task_type_scenario(Graph& g);
+
+// A long chain root -> v1 -> ... -> vn with the given request kind; useful
+// for priority-propagation and marking-depth benches.
+std::vector<VertexId> build_chain(Graph& g, std::uint32_t length, ReqKind k);
+
+// Complete binary tree of the given depth rooted at the returned vertex.
+VertexId build_tree(Graph& g, std::uint32_t depth, ReqKind k);
+
+}  // namespace dgr

@@ -1,0 +1,97 @@
+#include "graph/graph.h"
+
+namespace dgr {
+
+Graph::Graph(std::uint32_t num_pes, std::uint32_t initial_free_per_pe) {
+  DGR_CHECK(num_pes > 0);
+  stores_.reserve(num_pes);
+  for (std::uint32_t i = 0; i < num_pes; ++i)
+    stores_.push_back(std::make_unique<Store>(i, initial_free_per_pe));
+}
+
+std::size_t Graph::total_live() const {
+  std::size_t n = 0;
+  for (const auto& s : stores_) n += s->live_count();
+  return n;
+}
+
+std::size_t Graph::total_free() const {
+  std::size_t n = 0;
+  for (const auto& s : stores_) n += s->free_count();
+  return n;
+}
+
+std::size_t Graph::total_capacity() const {
+  std::size_t n = 0;
+  for (const auto& s : stores_) n += s->capacity();
+  return n;
+}
+
+void connect(Graph& g, VertexId x, VertexId y, ReqKind k) {
+  g.at(x).args.emplace_back(y, k);
+  if (k != ReqKind::kNone) g.at(y).requested.push_back(x);
+}
+
+void disconnect(Graph& g, VertexId x, VertexId y) {
+  Vertex& vx = g.at(x);
+  const int i = vx.arg_index(y);
+  if (i < 0) return;
+  const bool requesting = vx.args[static_cast<std::size_t>(i)].req != ReqKind::kNone;
+  vx.args.erase(vx.args.begin() + i);
+  if (requesting) g.at(y).drop_requester(x);
+}
+
+void disconnect_at(Graph& g, VertexId x, std::size_t arg_idx) {
+  Vertex& vx = g.at(x);
+  DGR_CHECK(arg_idx < vx.args.size());
+  const ArgEdge e = vx.args[arg_idx];
+  vx.args.erase(vx.args.begin() + static_cast<std::ptrdiff_t>(arg_idx));
+  if (e.req != ReqKind::kNone) g.at(e.to).drop_requester(x);
+}
+
+void set_request_at(Graph& g, VertexId x, std::size_t arg_idx, ReqKind k) {
+  Vertex& vx = g.at(x);
+  DGR_CHECK(arg_idx < vx.args.size());
+  ArgEdge& e = vx.args[arg_idx];
+  const bool was = e.req != ReqKind::kNone;
+  const bool now = k != ReqKind::kNone;
+  e.req = k;
+  if (!was && now) {
+    g.at(e.to).requested.push_back(x);
+  } else if (was && !now) {
+    g.at(e.to).drop_requester(x);
+  }
+}
+
+void set_request(Graph& g, VertexId x, VertexId y, ReqKind k) {
+  Vertex& vx = g.at(x);
+  const int i = vx.arg_index(y);
+  DGR_CHECK_MSG(i >= 0, "set_request on a non-edge");
+  ArgEdge& e = vx.args[static_cast<std::size_t>(i)];
+  const bool was = e.req != ReqKind::kNone;
+  const bool now = k != ReqKind::kNone;
+  e.req = k;
+  if (!was && now) {
+    g.at(y).requested.push_back(x);
+  } else if (was && !now) {
+    g.at(y).drop_requester(x);
+  }
+}
+
+void reply_to(Graph& g, VertexId y, VertexId x, const Value& val) {
+  g.at(y).drop_requester(x);
+  if (!x.valid()) return;  // external demand (<-,root>)
+  Vertex& vx = g.at(x);
+  const int i = vx.arg_index(y);
+  if (i >= 0) {
+    ArgEdge& e = vx.args[static_cast<std::size_t>(i)];
+    e.value = val;
+    // The request is complete: the edge reverts to unrequested. This keeps
+    // the bookkeeping invariant (e.req != kNone ⟺ x ∈ requested(y)) and
+    // preserves reduction axiom 2 — a replied-to vertex stays T-reachable
+    // through args(x) − req-args(x) as long as x itself is task-active.
+    e.req = ReqKind::kNone;
+  }
+}
+
+}  // namespace dgr

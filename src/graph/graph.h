@@ -1,0 +1,87 @@
+// The distributed computation graph: one Store per PE.
+//
+// This is the "shared" global view that the deterministic simulator, the
+// oracle and the tests operate on. The ownership discipline (a task touches
+// only vertices it has been granted atomic access to, normally those of its
+// destination's PE) is enforced by the engines, not by this container.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/store.h"
+
+namespace dgr {
+
+class Graph {
+ public:
+  explicit Graph(std::uint32_t num_pes, std::uint32_t initial_free_per_pe = 0);
+
+  std::uint32_t num_pes() const { return static_cast<std::uint32_t>(stores_.size()); }
+
+  Store& store(PeId pe) {
+    DGR_ASSERT(pe < stores_.size());
+    return *stores_[pe];
+  }
+  const Store& store(PeId pe) const {
+    DGR_ASSERT(pe < stores_.size());
+    return *stores_[pe];
+  }
+
+  Vertex& at(VertexId id) { return store(id.pe).at(id.idx); }
+  const Vertex& at(VertexId id) const { return store(id.pe).at(id.idx); }
+
+  bool is_free(VertexId id) const { return store(id.pe).is_free(id.idx); }
+
+  VertexId alloc(PeId pe, OpCode op) { return store(pe).alloc(op); }
+
+  // Round-robin allocation across PEs (simple block partitioner for
+  // synthetic workloads).
+  VertexId alloc_rr(OpCode op) {
+    const PeId pe = static_cast<PeId>(rr_next_++ % stores_.size());
+    return alloc(pe, op);
+  }
+
+  std::size_t total_live() const;
+  std::size_t total_free() const;
+  std::size_t total_capacity() const;
+
+  template <typename F>
+  void for_each_live(F&& fn) const {
+    for (const auto& s : stores_)
+      s->for_each_live([&](std::uint32_t idx) { fn(s->id(idx)); });
+  }
+
+ private:
+  std::vector<std::unique_ptr<Store>> stores_;
+  std::uint64_t rr_next_ = 0;
+};
+
+// ---- Mutation helpers shared by tests, builders and the reducer. ----
+// These are the *raw* connectivity operations (connect/disconnect in the
+// paper's Fig 4-2 terms). The marking-cooperating wrappers live in
+// src/core/cooperation.h; reduction code must go through those whenever a
+// marking cycle may be active.
+
+// Append y to args(x) with request kind `k`; if k != kNone, records x in
+// requested(y) as well (x has requested y's value and awaits a reply).
+void connect(Graph& g, VertexId x, VertexId y, ReqKind k = ReqKind::kNone);
+
+// Remove y from args(x) (first occurrence); clears the requested back-edge
+// if the edge was a requesting one.
+void disconnect(Graph& g, VertexId x, VertexId y);
+
+// Upgrade/downgrade the request kind of existing edge x->y, maintaining the
+// requested(y) back-edge.
+void set_request(Graph& g, VertexId x, VertexId y, ReqKind k);
+
+// Index-based variants for vertices with duplicate out-edges to the same
+// target (e.g. `x + x`), where first-occurrence matching is ambiguous.
+void disconnect_at(Graph& g, VertexId x, std::size_t arg_idx);
+void set_request_at(Graph& g, VertexId x, std::size_t arg_idx, ReqKind k);
+
+// y replies to x with `val`: clears x from requested(y), records val on x's
+// edge. (Reduction axiom 6 bookkeeping.)
+void reply_to(Graph& g, VertexId y, VertexId x, const Value& val);
+
+}  // namespace dgr

@@ -1,0 +1,60 @@
+// Vertex identity in the distributed computation graph.
+//
+// A vertex is owned by exactly one processing element (PE); its id is the
+// pair (owning PE, slot index in that PE's arena). Tasks addressed to a
+// vertex are routed to — and executed on — the owning PE, which is what gives
+// task execution its atomicity in the distributed engine (Hudak §2.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace dgr {
+
+using PeId = std::uint32_t;
+
+struct VertexId {
+  static constexpr std::uint32_t kInvalidPe = 0xffffffffu;
+
+  PeId pe = kInvalidPe;
+  std::uint32_t idx = 0;
+
+  constexpr bool valid() const { return pe != kInvalidPe; }
+
+  static constexpr VertexId invalid() { return VertexId{}; }
+
+  // Sentinel parent used to detect marking termination (the paper's
+  // "rootpar" dummy node, Fig 4-1): a return task addressed to it signals
+  // the controller that the marking wave has fully collapsed.
+  static constexpr VertexId rootpar() { return VertexId{0xfffffffeu, 0}; }
+
+  constexpr bool is_rootpar() const { return pe == 0xfffffffeu; }
+
+  friend constexpr bool operator==(VertexId a, VertexId b) {
+    return a.pe == b.pe && a.idx == b.idx;
+  }
+  friend constexpr bool operator!=(VertexId a, VertexId b) { return !(a == b); }
+  friend constexpr bool operator<(VertexId a, VertexId b) {
+    return a.pe != b.pe ? a.pe < b.pe : a.idx < b.idx;
+  }
+
+  std::uint64_t pack() const {
+    return (static_cast<std::uint64_t>(pe) << 32) | idx;
+  }
+  static VertexId unpack(std::uint64_t bits) {
+    return VertexId{static_cast<PeId>(bits >> 32),
+                    static_cast<std::uint32_t>(bits)};
+  }
+};
+
+struct VertexIdHash {
+  std::size_t operator()(VertexId v) const {
+    std::uint64_t x = v.pack();
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+}  // namespace dgr

@@ -1,0 +1,59 @@
+#include "graph/opcode.h"
+
+namespace dgr {
+
+const char* op_name(OpCode op) {
+  switch (op) {
+    case OpCode::kData: return "data";
+    case OpCode::kLit: return "lit";
+    case OpCode::kAdd: return "+";
+    case OpCode::kSub: return "-";
+    case OpCode::kMul: return "*";
+    case OpCode::kDiv: return "/";
+    case OpCode::kMod: return "%";
+    case OpCode::kEq: return "==";
+    case OpCode::kNe: return "!=";
+    case OpCode::kLt: return "<";
+    case OpCode::kLe: return "<=";
+    case OpCode::kNot: return "not";
+    case OpCode::kAnd: return "and";
+    case OpCode::kOr: return "or";
+    case OpCode::kId: return "id";
+    case OpCode::kIf: return "if";
+    case OpCode::kCons: return "cons";
+    case OpCode::kNil: return "nil";
+    case OpCode::kHead: return "head";
+    case OpCode::kTail: return "tail";
+    case OpCode::kIsNil: return "isnil";
+    case OpCode::kCall: return "call";
+    case OpCode::kTaskRoot: return "taskroot";
+    case OpCode::kTRoot: return "troot";
+  }
+  return "?";
+}
+
+int op_arity(OpCode op) {
+  switch (op) {
+    case OpCode::kAdd:
+    case OpCode::kSub:
+    case OpCode::kMul:
+    case OpCode::kDiv:
+    case OpCode::kMod:
+    case OpCode::kEq:
+    case OpCode::kNe:
+    case OpCode::kLt:
+    case OpCode::kLe:
+    case OpCode::kAnd:
+    case OpCode::kOr: return 2;
+    case OpCode::kNot:
+    case OpCode::kId:
+    case OpCode::kHead:
+    case OpCode::kTail:
+    case OpCode::kIsNil: return 1;
+    case OpCode::kCons: return 2;
+    case OpCode::kIf: return 3;
+    default: return 0;
+  }
+}
+
+}  // namespace dgr

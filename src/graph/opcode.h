@@ -1,0 +1,97 @@
+// Vertex labels: primitive operators and value kinds (Hudak §2: "a directed
+// graph whose vertices are labeled with primitive operators and values").
+//
+// The reduction substrate is supercombinator-style operator-graph reduction:
+// a program is a set of function templates; a kCall vertex instantiates its
+// template from the free list (the paper's expand-node — "new vertices are
+// added as the result of a function invocation") and strict operators request
+// their operands exactly as in the paper's §2.1 example.
+#pragma once
+
+#include <cstdint>
+
+namespace dgr {
+
+enum class OpCode : std::uint8_t {
+  // Plain data vertex with arbitrary out-edges; used by the marking tests and
+  // benches that exercise the collector independently of reduction.
+  kData = 0,
+
+  kLit,  // literal; value stored in the vertex
+
+  // Strict arithmetic / comparison primitives; args are the operands.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kNot,
+  kAnd,  // strict boolean (both sides evaluated — keeps operators uniform)
+  kOr,
+  kId,   // identity forward (used when a function body is a bare parameter)
+
+  // Conditional: args = [predicate, then, else]. Evaluates the predicate
+  // vitally; may speculate both branches eagerly (§3.2); on resolution the
+  // untaken branch is dereferenced, orphaning its eager tasks.
+  kIf,
+
+  // Lazy list cells. kCons's two fields are plain (unrequested) args —
+  // exactly the paper's "reserve" dependencies — evaluated only when
+  // head/tail demand them; kNil is the empty list. kHead/kTail acquire a
+  // field reference from the returned cell (see Mutator::acquire_reference).
+  kCons,
+  kNil,
+  kHead,
+  kTail,
+  kIsNil,
+
+  // Function invocation: fn_id selects the template, args are the actuals.
+  // Evaluation splices a fresh instance of the template below the vertex
+  // (expand-node) and the vertex becomes the instance's root operator.
+  kCall,
+
+  // Auxiliary marking roots (taskroot_i / troot, Hudak §5.2). Never collected.
+  kTaskRoot,
+  kTRoot,
+};
+
+const char* op_name(OpCode op);
+
+// Operand count for fixed-arity operators (0 for kData/kLit/kCall/aux).
+int op_arity(OpCode op);
+
+inline bool op_is_strict_prim(OpCode op) {
+  switch (op) {
+    case OpCode::kAdd:
+    case OpCode::kSub:
+    case OpCode::kMul:
+    case OpCode::kDiv:
+    case OpCode::kMod:
+    case OpCode::kEq:
+    case OpCode::kNe:
+    case OpCode::kLt:
+    case OpCode::kLe:
+    case OpCode::kNot:
+    case OpCode::kAnd:
+    case OpCode::kOr:
+    case OpCode::kId:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline bool op_is_list(OpCode op) {
+  return op == OpCode::kCons || op == OpCode::kNil || op == OpCode::kHead ||
+         op == OpCode::kTail || op == OpCode::kIsNil;
+}
+
+inline bool op_is_aux_root(OpCode op) {
+  return op == OpCode::kTaskRoot || op == OpCode::kTRoot;
+}
+
+}  // namespace dgr

@@ -1,0 +1,154 @@
+#include "graph/oracle.h"
+
+#include <deque>
+
+namespace dgr {
+
+const char* task_class_name(TaskClass c) {
+  switch (c) {
+    case TaskClass::kVital: return "vital";
+    case TaskClass::kEager: return "eager";
+    case TaskClass::kReserve: return "reserve";
+    case TaskClass::kIrrelevant: return "irrelevant";
+  }
+  return "?";
+}
+
+Oracle::Oracle(const Graph& g, VertexId root, const std::vector<TaskRef>& tasks)
+    : g_(g) {
+  prior_.resize(g.num_pes());
+  t_.resize(g.num_pes());
+  for (PeId pe = 0; pe < g.num_pes(); ++pe) {
+    prior_[pe].assign(g.store(pe).capacity(), 0);
+    t_[pe].assign(g.store(pe).capacity(), 0);
+  }
+
+  // prior*(v) = max over paths of min edge request-type. Computed by three
+  // threshold reachability passes: reachable via edges of type >= 3 → prior 3,
+  // >= 2 → at least 2, >= 1 → at least 1. Higher passes run first so the max
+  // wins. The root itself gets priority 3 ("the value of the root is
+  // essential to the overall computation", §5.1).
+  if (root.valid() && !g.is_free(root)) {
+    reach_with_threshold(root, 3, 3);
+    reach_with_threshold(root, 2, 2);
+    reach_with_threshold(root, 1, 1);
+  }
+
+  reach_tasks(tasks);
+
+  // Tally.
+  g.for_each_live([&](VertexId v) {
+    const int p = prior_at(v);
+    if (p >= 1) ++n_r_;
+    if (p == 3) ++n_rv_;
+    if (p == 2) ++n_re_;
+    if (p == 1) ++n_rr_;
+    const bool t = flag(t_, v);
+    if (t) ++n_t_;
+    if (p == 0) ++n_gar_;
+    if (p == 3 && !t) ++n_dlv_;
+  });
+}
+
+void Oracle::reach_with_threshold(VertexId root, int threshold,
+                                  std::uint8_t value) {
+  if (prior_[root.pe][root.idx] >= value) {
+    // Root already claimed by a higher pass; still need to expand this pass
+    // from every vertex of priority >= value, because a lower-threshold edge
+    // out of a high-priority vertex is only usable in this pass. Simplest
+    // correct approach: seed the worklist with all vertices of prior >= value.
+  }
+  std::deque<VertexId> work;
+  // Seed: root plus everything already at priority >= value (frontiers of the
+  // earlier, stricter passes).
+  if (prior_[root.pe][root.idx] < value) {
+    prior_[root.pe][root.idx] = value;
+  }
+  for (PeId pe = 0; pe < g_.num_pes(); ++pe)
+    for (std::uint32_t i = 0; i < prior_[pe].size(); ++i)
+      if (prior_[pe][i] >= value) work.push_back(VertexId{pe, i});
+
+  while (!work.empty()) {
+    const VertexId x = work.front();
+    work.pop_front();
+    const Vertex& vx = g_.at(x);
+    if (!vx.live) continue;
+    for (const ArgEdge& e : vx.args) {
+      if (request_type(e.req) < threshold) continue;
+      if (!e.to.valid() || g_.is_free(e.to)) continue;
+      std::uint8_t& p = prior_[e.to.pe][e.to.idx];
+      if (p < value) {
+        p = value;
+        work.push_back(e.to);
+      }
+    }
+  }
+}
+
+void Oracle::reach_tasks(const std::vector<TaskRef>& tasks) {
+  std::deque<VertexId> work;
+  auto seed = [&](VertexId v) {
+    if (!v.valid() || g_.is_free(v)) return;
+    std::uint8_t& f = t_[v.pe][v.idx];
+    if (!f) {
+      f = 1;
+      work.push_back(v);
+    }
+  };
+  // T's seeds are both endpoints of every task: d ↦* v ∨ s ↦* v (§2.2).
+  for (const TaskRef& t : tasks) {
+    seed(t.s);
+    seed(t.d);
+  }
+  while (!work.empty()) {
+    const VertexId x = work.front();
+    work.pop_front();
+    const Vertex& vx = g_.at(x);
+    if (!vx.live) continue;
+    // x ↦ y ⇔ y ∈ requested(x) ∨ y ∈ (args(x) − req-args(x)).
+    for (VertexId y : vx.requested) seed(y);
+    for (const ArgEdge& e : vx.args)
+      if (e.req == ReqKind::kNone) seed(e.to);
+  }
+}
+
+bool Oracle::in_GAR(VertexId v) const {
+  const Vertex& vx = g_.at(v);
+  if (!vx.live || vx.aux) return false;
+  return prior_at(v) == 0;
+}
+
+bool Oracle::in_DL(VertexId v) const {
+  return in_R(v) && !in_T(v) && g_.at(v).live && !g_.at(v).aux;
+}
+
+bool Oracle::in_DLv(VertexId v) const {
+  return in_Rv(v) && !in_T(v) && g_.at(v).live && !g_.at(v).aux;
+}
+
+TaskClass Oracle::classify(const TaskRef& t) const {
+  switch (prior_at(t.d)) {
+    case 3: return TaskClass::kVital;
+    case 2: return TaskClass::kEager;
+    case 1: return TaskClass::kReserve;
+    default: return TaskClass::kIrrelevant;  // d ∈ GAR (Property 6)
+  }
+}
+
+std::vector<VertexId> Oracle::members_GAR() const {
+  std::vector<VertexId> out;
+  g_.for_each_live([&](VertexId v) {
+    if (in_GAR(v)) out.push_back(v);
+  });
+  return out;
+}
+
+std::vector<VertexId> Oracle::members_DLv() const {
+  std::vector<VertexId> out;
+  g_.for_each_live([&](VertexId v) {
+    if (in_DLv(v)) out.push_back(v);
+  });
+  return out;
+}
+
+}  // namespace dgr

@@ -1,0 +1,100 @@
+// Sequential reference implementation of the paper's reachability
+// characterizations (Properties 1-6, §2.2 / §3).
+//
+// The oracle halts nothing and marks nothing: it computes, from a quiescent
+// snapshot of the graph, the exact sets
+//
+//   R    = { v | root →* v }                       (args reachability)
+//   R_v  = { v | reachable via req-args_v only }   (priority 3)
+//   R_e  = { v | best path has priority 2 }        (priority 2)
+//   R_r  = { v | best path has priority 1 }        (priority 1)
+//   T    = { v | some task's s or d ↦* v }         (task reachability)
+//   GAR  = V − R − F                                (Property 1)
+//   DL   = R − T,  DL_v = R_v − T                   (Properties 2, 2')
+//
+// where priorities follow mark2's max-min path semantics: a vertex's
+// priority is the maximum over root-paths of the minimum request-type along
+// the path (request-type: vital=3, eager=2, unrequested=1).
+//
+// NOTE on the paper's R_r: §3.2 defines R_r as reachability "only through
+// req-args_r", which taken literally is inconsistent with mark2 (whose
+// fixpoint is the max-min semantics above) and with Figure 3-3's Venn
+// diagram. We follow the algorithmic definition: R_r is the set marked with
+// priority 1, i.e. reachable only via paths containing an unrequested arc.
+//
+// Task propagation edges (§2.2):
+//   x ↦ y  ⇔  y ∈ requested(x) ∨ y ∈ (args(x) − req-args(x)).
+//
+// The distributed marker (src/core) is verified against this oracle in the
+// test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/task_ref.h"
+
+namespace dgr {
+
+class Oracle {
+ public:
+  // Computes all sets from the current state of `g`. `tasks` is the union of
+  // all task pools plus all in-transit tasks (the seeds of T).
+  Oracle(const Graph& g, VertexId root, const std::vector<TaskRef>& tasks);
+
+  // Membership queries. All return false for free or aux vertices where the
+  // set excludes them by definition.
+  bool in_R(VertexId v) const { return prior_at(v) >= 1; }
+  bool in_Rv(VertexId v) const { return prior_at(v) == 3; }
+  bool in_Re(VertexId v) const { return prior_at(v) == 2; }
+  bool in_Rr(VertexId v) const { return prior_at(v) == 1; }
+  bool in_T(VertexId v) const { return flag(t_, v); }
+  bool in_F(VertexId v) const { return g_.is_free(v); }
+  bool in_GAR(VertexId v) const;   // Property 1
+  bool in_DL(VertexId v) const;    // Property 2:  R − T
+  bool in_DLv(VertexId v) const;   // Property 2': R_v − T
+
+  // prior*(v): 0 = unreachable, else 1..3.
+  int prior_at(VertexId v) const {
+    return static_cast<int>(field(prior_, v));
+  }
+
+  // Properties 3-6.
+  TaskClass classify(const TaskRef& t) const;
+
+  // Set cardinalities (over live, non-aux vertices).
+  std::size_t count_R() const { return n_r_; }
+  std::size_t count_Rv() const { return n_rv_; }
+  std::size_t count_Re() const { return n_re_; }
+  std::size_t count_Rr() const { return n_rr_; }
+  std::size_t count_T() const { return n_t_; }
+  std::size_t count_GAR() const { return n_gar_; }
+  std::size_t count_DLv() const { return n_dlv_; }
+
+  // Enumerate members of a computed set.
+  std::vector<VertexId> members_GAR() const;
+  std::vector<VertexId> members_DLv() const;
+
+ private:
+  using Field = std::vector<std::vector<std::uint8_t>>;
+
+  std::uint8_t field(const Field& f, VertexId v) const {
+    if (v.pe >= f.size() || v.idx >= f[v.pe].size()) return 0;
+    return f[v.pe][v.idx];
+  }
+  bool flag(const Field& f, VertexId v) const { return field(f, v) != 0; }
+
+  // BFS over args edges whose request-type >= threshold; sets prior_ to
+  // `value` for newly reached vertices with prior_ < value.
+  void reach_with_threshold(VertexId root, int threshold, std::uint8_t value);
+  void reach_tasks(const std::vector<TaskRef>& tasks);
+
+  const Graph& g_;
+  Field prior_;  // 0 unreachable / 1 / 2 / 3
+  Field t_;      // membership in T
+  std::size_t n_r_ = 0, n_rv_ = 0, n_re_ = 0, n_rr_ = 0, n_t_ = 0,
+              n_gar_ = 0, n_dlv_ = 0;
+};
+
+}  // namespace dgr

@@ -1,0 +1,69 @@
+#include "graph/store.h"
+
+namespace dgr {
+
+Store::Store(PeId pe, std::uint32_t initial_free) : pe_(pe) {
+  slots_.resize(initial_free);
+  free_.reserve(initial_free);
+  // Push in reverse so allocation order starts at slot 0.
+  for (std::uint32_t i = initial_free; i-- > 0;) free_.push_back(i);
+}
+
+std::uint32_t Store::fresh_slot() {
+  const auto idx = static_cast<std::uint32_t>(slots_.size());
+  slots_.emplace_back();
+  return idx;
+}
+
+VertexId Store::alloc(OpCode op) {
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else if (!fixed_capacity_) {
+    idx = fresh_slot();
+  } else {
+    return VertexId::invalid();
+  }
+  Vertex& v = slots_[idx];
+  DGR_ASSERT(!v.live);
+  v.reset_payload();
+  v.live = true;
+  v.op = op;
+  ++allocs_;
+  return VertexId{pe_, idx};
+}
+
+void Store::release(std::uint32_t idx) {
+  Vertex& v = slots_[idx];
+  DGR_CHECK_MSG(v.live, "double free of vertex");
+  DGR_CHECK_MSG(!v.aux, "auxiliary marking roots are never collected");
+  v.reset_payload();
+  v.live = false;
+  free_.push_back(idx);
+  ++releases_;
+}
+
+VertexId Store::make_aux(OpCode op) {
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    idx = fresh_slot();
+  }
+  Vertex& v = slots_[idx];
+  v.reset_payload();
+  v.live = true;
+  v.aux = true;
+  v.op = op;
+  return VertexId{pe_, idx};
+}
+
+VertexId Store::taskroot() {
+  if (taskroot_idx_ == UINT32_MAX)
+    taskroot_idx_ = make_aux(OpCode::kTaskRoot).idx;
+  return VertexId{pe_, taskroot_idx_};
+}
+
+}  // namespace dgr

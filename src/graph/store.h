@@ -1,0 +1,90 @@
+// Per-PE vertex arena with an explicit free list.
+//
+// The free list is the paper's set F: "a known set of free vertices ...
+// analogous to the free-list in conventional list-processing systems" (§2.2).
+// New vertices are acquired from F (reduction axiom 1/2: R and T expand only
+// by acquiring nodes from F), and the restructuring phase returns garbage to
+// it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/ids.h"
+#include "graph/vertex.h"
+#include "util/assert.h"
+
+namespace dgr {
+
+class Store {
+ public:
+  // `initial_free` slots are created up front; the arena grows on demand
+  // unless a fixed capacity is set (used to model finite local store in the
+  // GC benches, where exhaustion forces a collection cycle).
+  explicit Store(PeId pe, std::uint32_t initial_free = 0);
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  PeId pe() const { return pe_; }
+
+  // Allocate a vertex from F. Returns invalid() if F is empty and the store
+  // is at fixed capacity (caller should trigger / await a GC cycle).
+  VertexId alloc(OpCode op);
+
+  // Return a vertex to F (restructuring phase). Connectivity and reduction
+  // payload are cleared; marking planes are left untouched.
+  void release(std::uint32_t idx);
+
+  Vertex& at(std::uint32_t idx) {
+    DGR_ASSERT(idx < slots_.size());
+    return slots_[idx];
+  }
+  const Vertex& at(std::uint32_t idx) const {
+    DGR_ASSERT(idx < slots_.size());
+    return slots_[idx];
+  }
+
+  VertexId id(std::uint32_t idx) const { return VertexId{pe_, idx}; }
+
+  bool is_free(std::uint32_t idx) const { return !slots_[idx].live; }
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t free_count() const { return free_.size(); }
+  std::size_t live_count() const { return slots_.size() - free_.size(); }
+
+  void set_fixed_capacity(bool fixed) { fixed_capacity_ = fixed; }
+  bool fixed_capacity() const { return fixed_capacity_; }
+
+  // The per-PE auxiliary vertex taskroot_i (§5.2); created on first use,
+  // flagged aux, excluded from V.
+  VertexId taskroot();
+
+  // Allocate an auxiliary vertex (e.g. troot); aux vertices are outside V,
+  // never collected, and invisible to for_each_live.
+  VertexId make_aux(OpCode op);
+
+  // Iterate live, non-aux vertex indices.
+  template <typename F>
+  void for_each_live(F&& fn) const {
+    for (std::uint32_t i = 0; i < slots_.size(); ++i)
+      if (slots_[i].live && !slots_[i].aux) fn(i);
+  }
+
+  // Total allocations performed (metric).
+  std::uint64_t allocs() const { return allocs_; }
+  std::uint64_t releases() const { return releases_; }
+
+ private:
+  std::uint32_t fresh_slot();
+
+  PeId pe_;
+  std::vector<Vertex> slots_;
+  std::vector<std::uint32_t> free_;
+  bool fixed_capacity_ = false;
+  std::uint32_t taskroot_idx_ = UINT32_MAX;
+  std::uint64_t allocs_ = 0;
+  std::uint64_t releases_ = 0;
+};
+
+}  // namespace dgr

@@ -1,0 +1,32 @@
+// The paper's abstract task <s,d>: "an unexecuted task may be viewed simply
+// as a message from one vertex to another" (§2.1). This lightweight form is
+// what the oracle and the task-marking process M_T consume; the runtime's
+// executable tasks carry more payload (see runtime/task.h).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/ids.h"
+
+namespace dgr {
+
+struct TaskRef {
+  VertexId s = VertexId::invalid();  // source ("-" allowed: invalid())
+  VertexId d = VertexId::invalid();  // destination
+
+  friend bool operator==(TaskRef a, TaskRef b) {
+    return a.s == b.s && a.d == b.d;
+  }
+};
+
+// Classification per Properties 3-6.
+enum class TaskClass : std::uint8_t {
+  kVital,       // d ∈ R_v                        (Property 3)
+  kEager,       // d ∈ R_e − R_v                  (Property 4)
+  kReserve,     // d ∈ R_r − R_e − R_v            (Property 5)
+  kIrrelevant,  // d ∈ V − R − F = GAR            (Property 6)
+};
+
+const char* task_class_name(TaskClass c);
+
+}  // namespace dgr

@@ -1,0 +1,84 @@
+// Ultimate values of vertices (Hudak §2.1: "the value of a vertex refers to
+// its unique ultimate value computed by the reduction process").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/ids.h"
+
+namespace dgr {
+
+enum class ValueKind : std::uint8_t {
+  kNone = 0,  // not yet computed
+  kInt,
+  kBool,
+  kNode,  // a graph node in WHNF (a cons cell)
+  kNil,   // the empty list
+};
+
+struct Value {
+  ValueKind kind = ValueKind::kNone;
+  std::int64_t i = 0;
+  VertexId node = VertexId::invalid();
+
+  static Value none() { return {}; }
+  static Value of_int(std::int64_t v) {
+    Value x;
+    x.kind = ValueKind::kInt;
+    x.i = v;
+    return x;
+  }
+  static Value of_bool(bool v) {
+    Value x;
+    x.kind = ValueKind::kBool;
+    x.i = v ? 1 : 0;
+    return x;
+  }
+  static Value of_node(VertexId v) {
+    Value x;
+    x.kind = ValueKind::kNode;
+    x.node = v;
+    return x;
+  }
+  static Value nil() {
+    Value x;
+    x.kind = ValueKind::kNil;
+    return x;
+  }
+
+  bool defined() const { return kind != ValueKind::kNone; }
+  bool is_int() const { return kind == ValueKind::kInt; }
+  bool is_bool() const { return kind == ValueKind::kBool; }
+  bool is_node() const { return kind == ValueKind::kNode; }
+  bool is_nil() const { return kind == ValueKind::kNil; }
+  std::int64_t as_int() const { return i; }
+  bool as_bool() const { return i != 0; }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.kind != b.kind) return false;
+    switch (a.kind) {
+      case ValueKind::kNone: return true;
+      case ValueKind::kInt:
+      case ValueKind::kBool: return a.i == b.i;
+      case ValueKind::kNode: return a.node == b.node;
+      case ValueKind::kNil: return true;
+    }
+    return false;
+  }
+
+  std::string to_string() const {
+    switch (kind) {
+      case ValueKind::kNone: return "⊥?";
+      case ValueKind::kInt: return std::to_string(i);
+      case ValueKind::kBool: return i ? "true" : "false";
+      case ValueKind::kNode:
+        return "<node " + std::to_string(node.pe) + ":" +
+               std::to_string(node.idx) + ">";
+      case ValueKind::kNil: return "nil";
+    }
+    return "?";
+  }
+};
+
+}  // namespace dgr

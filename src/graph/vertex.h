@@ -1,0 +1,147 @@
+// The vertex model of Hudak §2.1.
+//
+// Each vertex v keeps three edge sets current:
+//   args(v)       — original data dependencies (ArgEdge::to),
+//   req-args(v)   — the subset whose values v has requested, split into
+//                   req-args_v (vitally) and req-args_e (eagerly) via
+//                   ArgEdge::req,
+//   requested(v)  — vertices that requested v's value and have not been
+//                   replied to yet.
+//
+// Each vertex also carries two independent marking planes, one for the
+// root-marking process M_R and one for the task-marking process M_T (§5.2:
+// "we assume that rootpar, done, mt-cnt, mt-par, and the marking bits used by
+// M_T are distinct from those used by M_R").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/ids.h"
+#include "graph/opcode.h"
+#include "graph/value.h"
+
+namespace dgr {
+
+// How (whether) a vertex requested the value of one of its args.
+enum class ReqKind : std::uint8_t {
+  kNone = 0,   // in args but not requested — traced with priority 1
+  kEager = 1,  // eagerly requested — priority 2
+  kVital = 2,  // vitally requested — priority 3
+};
+
+// The paper's request-type(c,v) function (Fig 5-1).
+inline int request_type(ReqKind k) {
+  switch (k) {
+    case ReqKind::kVital: return 3;
+    case ReqKind::kEager: return 2;
+    case ReqKind::kNone: return 1;
+  }
+  return 1;
+}
+
+struct ArgEdge {
+  VertexId to;
+  ReqKind req = ReqKind::kNone;
+  Value value;  // value returned by `to`, once any
+  // M_T epoch in which this edge last became requested. An edge requested
+  // *during* the current task-marking phase was unrequested — hence a
+  // T-edge — at the phase's snapshot instant t_a, so mark3 must still trace
+  // it (this is the in-transit-task accounting the paper defers to [5]).
+  std::uint64_t req_epoch = 0;
+
+  explicit ArgEdge(VertexId t = VertexId::invalid(),
+                   ReqKind k = ReqKind::kNone)
+      : to(t), req(k) {}
+};
+
+// Marking tri-state; the analogue of Dijkstra's white/gray/black, with the
+// distributed-twist semantics of Hudak §4.1.
+enum class Color : std::uint8_t {
+  kUnmarked = 0,   // no mark task has executed on v this cycle
+  kTransient = 1,  // mark task executed, children not all returned
+  kMarked = 2,     // marking of v's subtree complete
+};
+
+// Which marking process a piece of state belongs to.
+enum class Plane : int { kR = 0, kT = 1 };
+
+struct MarkPlane {
+  // Colors are epoch-tagged: state is valid only when `epoch` equals the
+  // current marking cycle, which makes "unmark everything" an O(1) epoch
+  // bump instead of a sweep.
+  std::uint64_t epoch = 0;
+  Color color = Color::kUnmarked;
+  std::uint32_t mt_cnt = 0;
+  VertexId mt_par = VertexId::invalid();
+  std::uint8_t prior = 0;  // 3 = R_v, 2 = R_e, 1 = R_r; M_R plane only
+};
+
+struct Vertex {
+  OpCode op = OpCode::kData;
+
+  // Arena bookkeeping: false means the slot is on its PE's free list (F).
+  bool live = false;
+  // Auxiliary vertices (taskroot_i, troot) are outside V for the purposes of
+  // Properties 1-6 and are never collected.
+  bool aux = false;
+
+  // Reduction state.
+  bool evaluating = false;  // some reduction task has begun computing v
+  Value value;              // v's ultimate value, once computed
+  std::uint32_t fn_id = 0;  // template index, for kCall vertices
+
+  std::vector<ArgEdge> args;
+  std::vector<VertexId> requested;  // invalid() entry = external/root demand
+
+  // Waiters removed from `requested` (by reply or dereference) while an M_T
+  // wave was in flight. They were ↦-successors at the wave's snapshot
+  // instant, so mark3 still traces them; the restructuring phase clears the
+  // list. Part of the in-transit accounting of [5] (see ArgEdge::req_epoch).
+  std::vector<VertexId> stale_requested;
+
+  MarkPlane mark[2];
+
+  bool evaluated() const { return value.defined(); }
+
+  MarkPlane& plane(Plane p) { return mark[static_cast<int>(p)]; }
+  const MarkPlane& plane(Plane p) const { return mark[static_cast<int>(p)]; }
+
+  // args index of `c`, or -1.
+  int arg_index(VertexId c) const {
+    for (std::size_t i = 0; i < args.size(); ++i)
+      if (args[i].to == c) return static_cast<int>(i);
+    return -1;
+  }
+
+  bool has_requester(VertexId s) const {
+    for (VertexId r : requested)
+      if (r == s) return true;
+    return false;
+  }
+
+  void drop_requester(VertexId s) {
+    for (std::size_t i = 0; i < requested.size(); ++i) {
+      if (requested[i] == s) {
+        requested[i] = requested.back();
+        requested.pop_back();
+        return;
+      }
+    }
+  }
+
+  // Reset reduction + connectivity state when freed / reallocated. Marking
+  // planes survive: a node taken from F mid-cycle keeps whatever color the
+  // allocating mutator gives it (cf. expand-node, Fig 4-2).
+  void reset_payload() {
+    op = OpCode::kData;
+    evaluating = false;
+    value = Value::none();
+    fn_id = 0;
+    args.clear();
+    requested.clear();
+    stale_requested.clear();
+  }
+};
+
+}  // namespace dgr

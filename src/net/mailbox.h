@@ -1,0 +1,43 @@
+// Per-PE mailbox for the threaded engine: serialized task messages with
+// traffic counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/mpmc_queue.h"
+
+namespace dgr {
+
+class Mailbox {
+ public:
+  using Bytes = std::vector<std::uint8_t>;
+
+  void deliver(Bytes msg) {
+    bytes_in_.fetch_add(msg.size(), std::memory_order_relaxed);
+    msgs_in_.fetch_add(1, std::memory_order_relaxed);
+    q_.push(std::move(msg));
+  }
+
+  std::optional<Bytes> try_receive() { return q_.try_pop(); }
+  std::optional<Bytes> receive() { return q_.pop(); }
+
+  void close() { q_.close(); }
+  std::size_t pending() const { return q_.size(); }
+
+  std::uint64_t messages_received() const {
+    return msgs_in_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_received() const {
+    return bytes_in_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  MpmcQueue<Bytes> q_;
+  std::atomic<std::uint64_t> msgs_in_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+};
+
+}  // namespace dgr

@@ -1,0 +1,37 @@
+#include "net/wire.h"
+
+namespace dgr {
+
+std::vector<std::uint8_t> encode_task(const Task& t) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(t.kind));
+  w.u8(static_cast<std::uint8_t>(t.plane));
+  w.u8(t.prior);
+  w.u8(static_cast<std::uint8_t>(t.demand));
+  w.u8(t.pool_prior);
+  w.vid(t.d);
+  w.vid(t.s);
+  w.u8(static_cast<std::uint8_t>(t.value.kind));
+  w.i64(t.value.i);
+  w.vid(t.value.node);
+  return w.take();
+}
+
+Task decode_task(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  Task t;
+  t.kind = static_cast<TaskKind>(r.u8());
+  t.plane = static_cast<Plane>(r.u8());
+  t.prior = r.u8();
+  t.demand = static_cast<ReqKind>(r.u8());
+  t.pool_prior = r.u8();
+  t.d = r.vid();
+  t.s = r.vid();
+  t.value.kind = static_cast<ValueKind>(r.u8());
+  t.value.i = r.i64();
+  t.value.node = r.vid();
+  DGR_CHECK_MSG(r.done(), "trailing bytes in task message");
+  return t;
+}
+
+}  // namespace dgr

@@ -1,0 +1,82 @@
+// Wire serialization for inter-PE messages.
+//
+// The threaded engine enforces the paper's "local store only, communicating
+// via messages" discipline by serializing every cross-PE task to bytes and
+// deserializing on the receiving PE — no shared in-memory task objects.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/task.h"
+#include "util/assert.h"
+
+namespace dgr {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  void vid(VertexId v) {
+    u32(v.pe);
+    u32(v.idx);
+  }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+  std::uint8_t u8() {
+    DGR_CHECK(pos_ < buf_.size());
+    return buf_[pos_++];
+  }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::int64_t i64() {
+    std::int64_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  VertexId vid() {
+    VertexId v;
+    v.pe = u32();
+    v.idx = u32();
+    return v;
+  }
+  bool done() const { return pos_ == buf_.size(); }
+
+ private:
+  void raw(void* p, std::size_t n) {
+    DGR_CHECK(pos_ + n <= buf_.size());
+    std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+// Task <-> bytes. Round-trip identity is covered by tests.
+std::vector<std::uint8_t> encode_task(const Task& t);
+Task decode_task(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace dgr

@@ -1,0 +1,400 @@
+#include "reduction/lang.h"
+
+#include <cctype>
+
+namespace dgr::lang {
+
+namespace {
+
+enum class Tok : std::uint8_t {
+  kEnd, kNum, kIdent,
+  kDef, kIf, kThen, kElse, kLet, kIn, kTrue, kFalse, kAnd, kOr, kNot,
+  kLParen, kRParen, kComma, kSemi, kEquals,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+};
+
+struct Lexer {
+  explicit Lexer(const std::string& src) : src_(src) { advance(); }
+
+  Tok tok = Tok::kEnd;
+  std::int64_t num = 0;
+  std::string ident;
+  std::size_t line = 1, col = 1;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, line, col);
+  }
+
+  void advance() {
+    skip_ws();
+    line_ = line;
+    col_ = col;
+    if (pos_ >= src_.size()) {
+      tok = Tok::kEnd;
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      num = 0;
+      while (pos_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        num = num * 10 + (src_[pos_] - '0');
+        bump();
+      }
+      tok = Tok::kNum;
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      ident.clear();
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_')) {
+        ident.push_back(src_[pos_]);
+        bump();
+      }
+      tok = keyword(ident);
+      return;
+    }
+    bump();
+    switch (c) {
+      case '(': tok = Tok::kLParen; return;
+      case ')': tok = Tok::kRParen; return;
+      case ',': tok = Tok::kComma; return;
+      case ';': tok = Tok::kSemi; return;
+      case '+': tok = Tok::kPlus; return;
+      case '-': tok = Tok::kMinus; return;
+      case '*': tok = Tok::kStar; return;
+      case '/': tok = Tok::kSlash; return;
+      case '%': tok = Tok::kPercent; return;
+      case '=':
+        if (peek() == '=') {
+          bump();
+          tok = Tok::kEq;
+        } else {
+          tok = Tok::kEquals;
+        }
+        return;
+      case '!':
+        if (peek() == '=') {
+          bump();
+          tok = Tok::kNe;
+          return;
+        }
+        fail("unexpected '!'");
+      case '<':
+        if (peek() == '=') {
+          bump();
+          tok = Tok::kLe;
+        } else {
+          tok = Tok::kLt;
+        }
+        return;
+      case '>':
+        if (peek() == '=') {
+          bump();
+          tok = Tok::kGe;
+        } else {
+          tok = Tok::kGt;
+        }
+        return;
+      default:
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+ private:
+  static Tok keyword(const std::string& s) {
+    if (s == "def") return Tok::kDef;
+    if (s == "if") return Tok::kIf;
+    if (s == "then") return Tok::kThen;
+    if (s == "else") return Tok::kElse;
+    if (s == "let") return Tok::kLet;
+    if (s == "in") return Tok::kIn;
+    if (s == "true") return Tok::kTrue;
+    if (s == "false") return Tok::kFalse;
+    if (s == "and") return Tok::kAnd;
+    if (s == "or") return Tok::kOr;
+    if (s == "not") return Tok::kNot;
+    return Tok::kIdent;
+  }
+
+  char peek() const { return pos_ < src_.size() ? src_[pos_] : '\0'; }
+
+  void bump() {
+    if (src_[pos_] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++pos_;
+  }
+
+  void skip_ws() {
+    for (;;) {
+      while (pos_ < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[pos_])))
+        bump();
+      // '#' comments to end of line.
+      if (pos_ < src_.size() && src_[pos_] == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') bump();
+        continue;
+      }
+      return;
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1, col_ = 1;
+};
+
+ExprPtr mk(ExprKind k) {
+  auto e = std::make_unique<Expr>();
+  e->kind = k;
+  return e;
+}
+
+struct Parser {
+  explicit Parser(const std::string& src) : lx(src) {}
+  Lexer lx;
+
+  void expect(Tok t, const char* what) {
+    if (lx.tok != t) lx.fail(std::string("expected ") + what);
+    lx.advance();
+  }
+
+  ProgramAst program() {
+    ProgramAst p;
+    while (lx.tok != Tok::kEnd) {
+      expect(Tok::kDef, "'def'");
+      Def d;
+      if (lx.tok != Tok::kIdent) lx.fail("expected function name");
+      d.name = lx.ident;
+      lx.advance();
+      expect(Tok::kLParen, "'('");
+      if (lx.tok != Tok::kRParen) {
+        for (;;) {
+          if (lx.tok != Tok::kIdent) lx.fail("expected parameter name");
+          d.params.push_back(lx.ident);
+          lx.advance();
+          if (lx.tok != Tok::kComma) break;
+          lx.advance();
+        }
+      }
+      expect(Tok::kRParen, "')'");
+      expect(Tok::kEquals, "'='");
+      d.body = expr();
+      expect(Tok::kSemi, "';'");
+      p.defs.push_back(std::move(d));
+    }
+    if (p.defs.empty()) lx.fail("empty program");
+    return p;
+  }
+
+  ExprPtr expr() {
+    if (lx.tok == Tok::kIf) {
+      lx.advance();
+      auto e = mk(ExprKind::kIf);
+      e->kids.push_back(expr());
+      expect(Tok::kThen, "'then'");
+      e->kids.push_back(expr());
+      expect(Tok::kElse, "'else'");
+      e->kids.push_back(expr());
+      return e;
+    }
+    if (lx.tok == Tok::kLet) {
+      lx.advance();
+      auto e = mk(ExprKind::kLet);
+      if (lx.tok != Tok::kIdent) lx.fail("expected let-bound name");
+      e->name = lx.ident;
+      lx.advance();
+      expect(Tok::kEquals, "'='");
+      e->kids.push_back(expr());
+      expect(Tok::kIn, "'in'");
+      e->kids.push_back(expr());
+      return e;
+    }
+    return or_expr();
+  }
+
+  ExprPtr bin(OpCode op, ExprPtr l, ExprPtr r) {
+    auto e = mk(ExprKind::kBin);
+    e->op = op;
+    e->kids.push_back(std::move(l));
+    e->kids.push_back(std::move(r));
+    return e;
+  }
+
+  ExprPtr or_expr() {
+    auto l = and_expr();
+    while (lx.tok == Tok::kOr) {
+      lx.advance();
+      l = bin(OpCode::kOr, std::move(l), and_expr());
+    }
+    return l;
+  }
+
+  ExprPtr and_expr() {
+    auto l = cmp_expr();
+    while (lx.tok == Tok::kAnd) {
+      lx.advance();
+      l = bin(OpCode::kAnd, std::move(l), cmp_expr());
+    }
+    return l;
+  }
+
+  ExprPtr cmp_expr() {
+    auto l = add_expr();
+    switch (lx.tok) {
+      case Tok::kEq: lx.advance(); return bin(OpCode::kEq, std::move(l), add_expr());
+      case Tok::kNe: lx.advance(); return bin(OpCode::kNe, std::move(l), add_expr());
+      case Tok::kLt: lx.advance(); return bin(OpCode::kLt, std::move(l), add_expr());
+      case Tok::kLe: lx.advance(); return bin(OpCode::kLe, std::move(l), add_expr());
+      // a > b  ⇒  b < a ;  a >= b  ⇒  b <= a
+      case Tok::kGt: lx.advance(); return bin(OpCode::kLt, add_expr(), std::move(l));
+      case Tok::kGe: lx.advance(); return bin(OpCode::kLe, add_expr(), std::move(l));
+      default: return l;
+    }
+  }
+
+  ExprPtr add_expr() {
+    auto l = mul_expr();
+    for (;;) {
+      if (lx.tok == Tok::kPlus) {
+        lx.advance();
+        l = bin(OpCode::kAdd, std::move(l), mul_expr());
+      } else if (lx.tok == Tok::kMinus) {
+        lx.advance();
+        l = bin(OpCode::kSub, std::move(l), mul_expr());
+      } else {
+        return l;
+      }
+    }
+  }
+
+  ExprPtr mul_expr() {
+    auto l = unary();
+    for (;;) {
+      if (lx.tok == Tok::kStar) {
+        lx.advance();
+        l = bin(OpCode::kMul, std::move(l), unary());
+      } else if (lx.tok == Tok::kSlash) {
+        lx.advance();
+        l = bin(OpCode::kDiv, std::move(l), unary());
+      } else if (lx.tok == Tok::kPercent) {
+        lx.advance();
+        l = bin(OpCode::kMod, std::move(l), unary());
+      } else {
+        return l;
+      }
+    }
+  }
+
+  ExprPtr unary() {
+    if (lx.tok == Tok::kNot) {
+      lx.advance();
+      auto e = mk(ExprKind::kNot);
+      e->kids.push_back(unary());
+      return e;
+    }
+    if (lx.tok == Tok::kMinus) {
+      lx.advance();
+      auto zero = mk(ExprKind::kNum);
+      zero->num = 0;
+      return bin(OpCode::kSub, std::move(zero), unary());
+    }
+    return atom();
+  }
+
+  ExprPtr atom() {
+    switch (lx.tok) {
+      case Tok::kNum: {
+        auto e = mk(ExprKind::kNum);
+        e->num = lx.num;
+        lx.advance();
+        return e;
+      }
+      case Tok::kTrue:
+      case Tok::kFalse: {
+        auto e = mk(ExprKind::kBool);
+        e->num = lx.tok == Tok::kTrue ? 1 : 0;
+        lx.advance();
+        return e;
+      }
+      case Tok::kIdent: {
+        const std::string name = lx.ident;
+        lx.advance();
+        if (lx.tok == Tok::kLParen) {
+          lx.advance();
+          auto e = mk(ExprKind::kCall);
+          e->name = name;
+          if (lx.tok != Tok::kRParen) {
+            for (;;) {
+              e->kids.push_back(expr());
+              if (lx.tok != Tok::kComma) break;
+              lx.advance();
+            }
+          }
+          expect(Tok::kRParen, "')'");
+          return e;
+        }
+        auto e = mk(ExprKind::kVar);
+        e->name = name;
+        return e;
+      }
+      case Tok::kLParen: {
+        lx.advance();
+        auto e = expr();
+        expect(Tok::kRParen, "')'");
+        return e;
+      }
+      default:
+        lx.fail("expected expression");
+    }
+  }
+};
+
+}  // namespace
+
+ProgramAst parse_program(const std::string& src) {
+  Parser p(src);
+  return p.program();
+}
+
+ExprPtr parse_expression(const std::string& src) {
+  Parser p(src);
+  auto e = p.expr();
+  if (p.lx.tok != Tok::kEnd) p.lx.fail("trailing input after expression");
+  return e;
+}
+
+std::string to_string(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kNum: return std::to_string(e.num);
+    case ExprKind::kBool: return e.num ? "true" : "false";
+    case ExprKind::kVar: return e.name;
+    case ExprKind::kNot: return "not " + to_string(*e.kids[0]);
+    case ExprKind::kBin:
+      return "(" + to_string(*e.kids[0]) + " " + op_name(e.op) + " " +
+             to_string(*e.kids[1]) + ")";
+    case ExprKind::kIf:
+      return "if " + to_string(*e.kids[0]) + " then " + to_string(*e.kids[1]) +
+             " else " + to_string(*e.kids[2]);
+    case ExprKind::kLet:
+      return "let " + e.name + " = " + to_string(*e.kids[0]) + " in " +
+             to_string(*e.kids[1]);
+    case ExprKind::kCall: {
+      std::string s = e.name + "(";
+      for (std::size_t i = 0; i < e.kids.size(); ++i) {
+        if (i) s += ", ";
+        s += to_string(*e.kids[i]);
+      }
+      return s + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace dgr::lang

@@ -1,0 +1,76 @@
+// A tiny first-order functional language, the source form for reduction
+// workloads:
+//
+//   def fib(n) = if n < 2 then n else fib(n-1) + fib(n-2);
+//   def main() = fib(15);
+//
+// Expressions: integer/boolean literals, variables, binary operators
+// (+ - * / % == != < <= > >= and or), not, unary minus, if/then/else,
+// (recursive) let-in, and first-order function calls. `let` is letrec: the
+// bound name is visible in its own definition, which is how self-dependent
+// (deadlocking, Fig 3-1) and cyclic graphs arise from real programs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/opcode.h"
+
+namespace dgr::lang {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : std::uint8_t {
+  kNum,   // num
+  kBool,  // num (0/1)
+  kVar,   // name
+  kBin,   // op, kids[0], kids[1]
+  kNot,   // kids[0]
+  kIf,    // kids[0..2]
+  kLet,   // name, kids[0] = bound, kids[1] = body
+  kCall,  // name, kids = actuals
+};
+
+struct Expr {
+  ExprKind kind;
+  std::int64_t num = 0;
+  std::string name;
+  OpCode op = OpCode::kData;  // for kBin
+  std::vector<ExprPtr> kids;
+};
+
+struct Def {
+  std::string name;
+  std::vector<std::string> params;
+  ExprPtr body;
+};
+
+struct ProgramAst {
+  std::vector<Def> defs;
+};
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& msg, std::size_t line, std::size_t col)
+      : std::runtime_error(msg + " at " + std::to_string(line) + ":" +
+                           std::to_string(col)),
+        line(line),
+        col(col) {}
+  std::size_t line, col;
+};
+
+// Parse a full program (one or more defs). Throws ParseError.
+ProgramAst parse_program(const std::string& src);
+
+// Parse a single expression (for tests / quick evaluation); wrapped by the
+// caller into a def as needed.
+ExprPtr parse_expression(const std::string& src);
+
+// Render an expression back to source (round-trip debugging aid).
+std::string to_string(const Expr& e);
+
+}  // namespace dgr::lang

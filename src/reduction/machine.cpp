@@ -1,0 +1,478 @@
+#include "reduction/machine.h"
+
+#include "util/log.h"
+
+namespace dgr {
+
+Machine::Machine(Graph& g, Mutator& mut, TaskSink& sink, Program prog,
+                 MachineOptions opt)
+    : g_(g), mut_(mut), sink_(sink), prog_(std::move(prog)), opt_(opt) {}
+
+VertexId Machine::load_main(PeId pe, const std::string& fn) {
+  const std::uint32_t id = prog_.fn_id(fn);
+  DGR_CHECK_MSG(prog_.fn(id).nparams == 0,
+                "entry function must take no parameters");
+  const VertexId v = g_.alloc(pe, OpCode::kCall);
+  DGR_CHECK_MSG(v.valid(), "no free vertices for the entry call");
+  g_.at(v).fn_id = id;
+  return v;
+}
+
+void Machine::demand(VertexId v, ReqKind k) {
+  g_.at(v).requested.push_back(VertexId::invalid());
+  Task t = Task::request(VertexId::invalid(), v, k);
+  sink_.spawn(std::move(t));
+}
+
+std::optional<Value> Machine::result_of(VertexId v) const {
+  auto it = external_.find(v.pack());
+  if (it == external_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Machine::exec(const Task& t) {
+  switch (t.kind) {
+    case TaskKind::kRequest: exec_request(t); return;
+    case TaskKind::kReturnVal: exec_return(t); return;
+    case TaskKind::kEval: exec_eval(t.d, t.pool_prior); return;
+    default: DGR_CHECK_MSG(false, "non-reduction task routed to Machine");
+  }
+}
+
+std::uint8_t Machine::pool_prio(VertexId d, std::uint8_t inherited) const {
+  return std::max(inherited, mut_.marker().prior(Plane::kR, d));
+}
+
+void Machine::exec_request(const Task& t) {
+  ++stats_.requests;
+  Vertex& v = g_.at(t.d);
+  if (v.value.defined()) {
+    // Reply immediately — but only if this requester is still registered.
+    // A request issued BEFORE completion was already answered by complete()
+    // through requested(v); answering its (still pooled) request task again
+    // would deliver a duplicate return.
+    if (v.has_requester(t.s)) {
+      v.drop_requester(t.s);
+      mut_.record_stale_waiter(t.d, t.s);
+      if (t.s.valid()) {
+        sink_.spawn(Task::return_val(t.d, t.s, v.value, t.pool_prior));
+      } else {
+        external_[t.d.pack()] = v.value;
+      }
+    }
+    return;
+  }
+  if (!v.evaluating) {
+    v.evaluating = true;
+    sink_.spawn(Task::eval(t.d, pool_prio(t.d, t.pool_prior)));
+  }
+  // Already evaluating: completion will reply to every waiter in
+  // requested(v).
+}
+
+void Machine::exec_eval(VertexId vid, std::uint8_t prio) {
+  ++stats_.evals;
+  Vertex& v = g_.at(vid);
+  if (v.value.defined()) return;  // stale work item
+  eval_dispatch(vid, prio);
+}
+
+void Machine::eval_dispatch(VertexId vid, std::uint8_t prio) {
+  Vertex& v = g_.at(vid);
+  switch (v.op) {
+    case OpCode::kLit:
+      complete(vid, v.value);
+      return;
+    case OpCode::kCall:
+      instantiate(vid, prio);
+      return;
+    case OpCode::kCons:
+      // A cons cell is already in WHNF; its fields stay lazy, unrequested
+      // args — the paper's "reserve" dependencies.
+      DGR_CHECK_MSG(v.args.size() == 2, "malformed cons cell");
+      complete(vid, Value::of_node(vid));
+      return;
+    case OpCode::kNil:
+      complete(vid, Value::nil());
+      return;
+    case OpCode::kHead:
+    case OpCode::kTail:
+    case OpCode::kIsNil:
+      // Strict in the cell: request it, then (for head/tail) acquire the
+      // field reference from the returned node value.
+      DGR_CHECK_MSG(v.args.size() == 1, "malformed list accessor");
+      mut_.request_arg_at(vid, 0, ReqKind::kVital);
+      {
+        const VertexId dst = g_.at(vid).args[0].to;
+        Task t = Task::request(vid, dst, ReqKind::kVital);
+        t.pool_prior = pool_prio(dst, prio);
+        sink_.spawn(std::move(t));
+      }
+      return;
+    case OpCode::kIf: {
+      DGR_CHECK_MSG(v.args.size() == 3, "malformed if vertex");
+      // Predicate is vitally requested; branches eagerly when speculating
+      // (§3.2: eager tasks "compete" with vital ones).
+      mut_.request_arg_at(vid, 0, ReqKind::kVital);
+      sink_.spawn(Task::request(vid, v.args[0].to, ReqKind::kVital));
+      if (opt_.speculate_if) {
+        for (std::size_t i : {std::size_t{1}, std::size_t{2}}) {
+          mut_.request_arg_at(vid, i, ReqKind::kEager);
+          Task t = Task::request(vid, g_.at(vid).args[i].to, ReqKind::kEager);
+          t.pool_prior = 2;
+          sink_.spawn(std::move(t));
+          ++stats_.speculative_requests;
+        }
+      }
+      return;
+    }
+    default:
+      break;
+  }
+  DGR_CHECK_MSG(op_is_strict_prim(v.op), "unevaluable vertex opcode");
+  DGR_CHECK(!op_is_list(v.op));
+  DGR_CHECK_MSG(static_cast<int>(v.args.size()) == op_arity(v.op),
+                "operand count mismatch");
+  // §2.1: "the execution of a task <s,v> ... spawning tasks <v,d1> and
+  // <v,d2>" — strict operands are vitally requested.
+  const std::size_t n = v.args.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    mut_.request_arg_at(vid, i, ReqKind::kVital);
+    const VertexId dst = g_.at(vid).args[i].to;
+    Task t = Task::request(vid, dst, ReqKind::kVital);
+    t.pool_prior = pool_prio(dst, prio);
+    sink_.spawn(std::move(t));
+  }
+}
+
+void Machine::instantiate(VertexId vid, std::uint8_t prio) {
+  const Template& tpl = prog_.fn(g_.at(vid).fn_id);
+  DGR_CHECK_MSG(g_.at(vid).args.size() == tpl.nparams,
+                "call arity mismatch at runtime");
+  std::vector<VertexId> actuals;
+  actuals.reserve(tpl.nparams);
+  for (const ArgEdge& e : g_.at(vid).args) actuals.push_back(e.to);
+
+  if (tpl.root.is_param) {
+    // Body is a bare parameter: the vertex forwards that actual's value.
+    g_.at(vid).op = OpCode::kId;
+    const VertexId kept = actuals[tpl.root.idx];
+    const VertexId chain[] = {vid};
+    mut_.add_reference_via(vid, chain, kept, ReqKind::kNone);
+    for (std::uint32_t i = 0; i < tpl.nparams; ++i)
+      mut_.delete_reference_at(vid, 0);
+    ++stats_.instantiations;
+    eval_dispatch(vid, prio);
+    return;
+  }
+
+  // Allocate fresh vertices for every node except the root, which is
+  // rewritten into the call vertex itself.
+  const std::uint32_t root_idx = tpl.root.idx;
+  std::vector<VertexId> node_vid(tpl.nodes.size(), VertexId::invalid());
+  std::vector<VertexId> fresh;
+  fresh.reserve(tpl.nodes.size());
+  const PeId home = vid.pe;
+  bool failed = false;
+  for (std::uint32_t i = 0; i < tpl.nodes.size(); ++i) {
+    if (i == root_idx) {
+      node_vid[i] = vid;
+      continue;
+    }
+    const VertexId f = g_.alloc(pick_pe(home), tpl.nodes[i].op);
+    if (!f.valid()) {
+      failed = true;
+      break;
+    }
+    node_vid[i] = f;
+    fresh.push_back(f);
+  }
+  if (failed) {
+    // Local store exhausted: roll back and retry after a collection cycle.
+    for (VertexId f : fresh) g_.store(f.pe).release(f.idx);
+    ++stats_.alloc_failures;
+    sink_.spawn(Task::eval(vid, prio));
+    if (on_exhaustion_) on_exhaustion_();
+    return;
+  }
+  stats_.vertices_allocated += fresh.size();
+
+  // Wire the fresh (non-root) nodes: fresh→fresh and fresh→actual edges are
+  // raw connects — the instance is invisible until spliced.
+  for (std::uint32_t i = 0; i < tpl.nodes.size(); ++i) {
+    if (i == root_idx) continue;
+    const TNode& n = tpl.nodes[i];
+    Vertex& f = g_.at(node_vid[i]);
+    f.fn_id = n.fn_id;
+    if (n.op == OpCode::kLit)
+      f.value = n.lit_is_bool ? Value::of_bool(n.lit != 0)
+                              : Value::of_int(n.lit);
+    for (const TRef& c : n.children) {
+      const VertexId to = c.is_param ? actuals[c.idx] : node_vid[c.idx];
+      connect(g_, node_vid[i], to, ReqKind::kNone);
+    }
+  }
+
+  // expand-node (Fig 4-2): shade the fresh subgraph per the call vertex's
+  // marking state in both planes.
+  mut_.expand_node(vid, fresh);
+
+  // The call vertex becomes the instance's root operator: append the root's
+  // edges (cooperatively), then drop the actual-argument edges.
+  const TNode& root = tpl.nodes[root_idx];
+  {
+    Vertex& v = g_.at(vid);
+    v.op = root.op;
+    v.fn_id = root.fn_id;
+    if (root.op == OpCode::kLit)
+      v.value = root.lit_is_bool ? Value::of_bool(root.lit != 0)
+                                 : Value::of_int(root.lit);
+  }
+  for (const TRef& c : root.children) {
+    const VertexId to = c.is_param ? actuals[c.idx] : node_vid[c.idx];
+    const VertexId chain[] = {vid};
+    mut_.add_reference_via(vid, chain, to, ReqKind::kNone);
+  }
+  for (std::uint32_t i = 0; i < tpl.nparams; ++i)
+    mut_.delete_reference_at(vid, 0);
+  ++stats_.instantiations;
+
+  if (g_.at(vid).op == OpCode::kLit) {
+    complete(vid, g_.at(vid).value);
+  } else {
+    // Re-dispatch as a fresh task so unbounded call chains (deliberately
+    // non-terminating programs) yield an endless task stream rather than an
+    // endless atomic step — those tasks are what restructuring expunges.
+    sink_.spawn(Task::eval(vid, prio));
+  }
+}
+
+void Machine::exec_return(const Task& t) {
+  ++stats_.returns;
+  Vertex& v = g_.at(t.d);
+  if (ret_trace_) ret_trace_(t.d, t.s, t.value);
+  // A return can race a completion that no longer needs it (e.g. a
+  // speculative reply after the consumer resolved another way); it must
+  // never re-trigger evaluation logic on a finished vertex.
+  if (v.value.defined()) return;
+  // Record the value on the first pending edge to the sender; the sender
+  // already dropped us from its requested set when it replied.
+  for (ArgEdge& e : v.args) {
+    if (e.to == t.s && e.req != ReqKind::kNone && !e.value.defined()) {
+      e.value = t.value;
+      e.req = ReqKind::kNone;
+      break;
+    }
+  }
+  switch (v.op) {
+    case OpCode::kIf:
+      if (v.args.size() == 3 && v.args[0].value.defined()) {
+        resolve_if(t.d, t.pool_prior);
+      } else if (v.args.size() == 1 && v.args[0].value.defined()) {
+        complete(t.d, v.args[0].value);  // chosen branch's value arrived
+      }
+      return;
+    case OpCode::kIsNil: {
+      const Value& cv = v.args[0].value;
+      if (!cv.defined()) return;
+      if (!cv.is_node() && !cv.is_nil()) {
+        runtime_error(t.d, "isnil of a non-list");
+        return;
+      }
+      complete(t.d, Value::of_bool(cv.is_nil()));
+      return;
+    }
+    case OpCode::kHead:
+    case OpCode::kTail:
+      step_list_accessor(t.d, t.pool_prior);
+      return;
+    default:
+      if (op_is_strict_prim(v.op)) {
+        try_finish_prim(t.d);
+        return;
+      }
+      // Return raced with a dereference or arrived at a rewritten vertex:
+      // drop it (its value, if still wanted, is re-requestable).
+      return;
+  }
+}
+
+void Machine::resolve_if(VertexId vid, std::uint8_t prio) {
+  Vertex& v = g_.at(vid);
+  const Value pred = v.args[0].value;
+  if (!pred.is_bool()) {
+    runtime_error(vid, "if-predicate is not a boolean");
+    return;
+  }
+  ++stats_.if_resolutions;
+  const std::size_t chosen_i = pred.as_bool() ? 1 : 2;
+  const std::size_t other_i = pred.as_bool() ? 2 : 1;
+  // Dereference the untaken branch (§3.2): any speculative tasks below it
+  // become irrelevant the moment it drops out of R.
+  ++stats_.dereferences;
+  mut_.dereference_at(vid, other_i);
+  // Drop the consumed predicate edge; args become [chosen].
+  mut_.delete_reference_at(vid, 0);
+
+  Vertex& v2 = g_.at(vid);
+  DGR_CHECK(v2.args.size() == 1);
+  ArgEdge& chosen = v2.args[0];
+  if (chosen.value.defined()) {
+    complete(vid, chosen.value);  // speculation already returned it
+    return;
+  }
+  if (chosen.req == ReqKind::kEager) {
+    // Upgrade the outstanding speculative request to vital (§3.2 item 2).
+    // Already-pooled tasks of the speculative pipeline keep their old
+    // priority until the next restructuring reprioritizes them; tasks
+    // spawned from then on are boosted by pool_prio().
+    mut_.request_arg_at(vid, 0, ReqKind::kVital);
+  } else if (chosen.req == ReqKind::kNone) {
+    mut_.request_arg_at(vid, 0, ReqKind::kVital);
+    Task t = Task::request(vid, chosen.to, ReqKind::kVital);
+    t.pool_prior = 3;
+    sink_.spawn(std::move(t));
+  }
+  (void)prio;
+}
+
+void Machine::step_list_accessor(VertexId vid, std::uint8_t prio) {
+  Vertex& v = g_.at(vid);
+  // Phase 2: the field's value arrived.
+  if (v.args.size() == 2 && v.args[1].value.defined()) {
+    complete(vid, v.args[1].value);
+    return;
+  }
+  // Phase 1: the cell's WHNF arrived — acquire the field and demand it.
+  if (v.args.size() != 1 || !v.args[0].value.defined()) return;
+  const Value cv = v.args[0].value;
+  if (cv.is_nil()) {
+    runtime_error(vid, v.op == OpCode::kHead ? "head of nil" : "tail of nil");
+    return;
+  }
+  if (!cv.is_node()) {
+    runtime_error(vid, "head/tail of a non-list");
+    return;
+  }
+  const VertexId cell = cv.node;
+  const Vertex& cx = g_.at(cell);
+  DGR_CHECK_MSG(cx.live && cx.op == OpCode::kCons && cx.args.size() == 2,
+                "node value is not a cons cell");
+  const VertexId field = cx.args[v.op == OpCode::kHead ? 0 : 1].to;
+  if (acq_trace_) acq_trace_(vid, cell, field);
+  // The field arrived as a value, not through an access chain: an acquired
+  // reference (rescue-wave cooperation).
+  mut_.acquire_reference(vid, field, ReqKind::kVital);
+  Task t = Task::request(vid, field, ReqKind::kVital);
+  t.pool_prior = pool_prio(field, prio);
+  sink_.spawn(std::move(t));
+}
+
+void Machine::try_finish_prim(VertexId vid) {
+  Vertex& v = g_.at(vid);
+  DGR_CHECK_MSG(static_cast<int>(v.args.size()) == op_arity(v.op),
+                "prim operand count mismatch at completion");
+  for (const ArgEdge& e : v.args)
+    if (!e.value.defined()) return;  // still awaiting operands
+
+  auto intval = [&](std::size_t i, bool& ok) {
+    if (!v.args[i].value.is_int()) {
+      ok = false;
+      return std::int64_t{0};
+    }
+    return v.args[i].value.as_int();
+  };
+  auto boolval = [&](std::size_t i, bool& ok) {
+    if (!v.args[i].value.is_bool()) {
+      ok = false;
+      return false;
+    }
+    return v.args[i].value.as_bool();
+  };
+
+  bool ok = true;
+  Value r;
+  switch (v.op) {
+    case OpCode::kAdd: r = Value::of_int(intval(0, ok) + intval(1, ok)); break;
+    case OpCode::kSub: r = Value::of_int(intval(0, ok) - intval(1, ok)); break;
+    case OpCode::kMul: r = Value::of_int(intval(0, ok) * intval(1, ok)); break;
+    case OpCode::kDiv: {
+      const std::int64_t a = intval(0, ok), b = intval(1, ok);
+      if (ok && b == 0) {
+        runtime_error(vid, "division by zero");
+        return;
+      }
+      r = Value::of_int(ok ? a / b : 0);
+      break;
+    }
+    case OpCode::kMod: {
+      const std::int64_t a = intval(0, ok), b = intval(1, ok);
+      if (ok && b == 0) {
+        runtime_error(vid, "modulo by zero");
+        return;
+      }
+      r = Value::of_int(ok ? a % b : 0);
+      break;
+    }
+    case OpCode::kEq: r = Value::of_bool(intval(0, ok) == intval(1, ok)); break;
+    case OpCode::kNe: r = Value::of_bool(intval(0, ok) != intval(1, ok)); break;
+    case OpCode::kLt: r = Value::of_bool(intval(0, ok) < intval(1, ok)); break;
+    case OpCode::kLe: r = Value::of_bool(intval(0, ok) <= intval(1, ok)); break;
+    case OpCode::kAnd: r = Value::of_bool(boolval(0, ok) && boolval(1, ok)); break;
+    case OpCode::kOr: r = Value::of_bool(boolval(0, ok) || boolval(1, ok)); break;
+    case OpCode::kNot: r = Value::of_bool(!boolval(0, ok)); break;
+    case OpCode::kId: r = v.args[0].value; break;
+    default: DGR_CHECK(false);
+  }
+  if (!ok) {
+    runtime_error(vid, std::string("type error at '") + op_name(v.op) + "'");
+    return;
+  }
+  ++stats_.prim_results;
+  complete(vid, r);
+}
+
+void Machine::complete(VertexId vid, const Value& val) {
+  Vertex& v = g_.at(vid);
+  if (trace_) trace_(vid, v.op, val);
+  v.value = val;
+  v.evaluating = false;
+  // Reply to every waiter (the paper's "tasks <v,s_i> are spawned for each
+  // s_i ∈ requested(v)").
+  const std::vector<VertexId> waiters = std::move(v.requested);
+  g_.at(vid).requested.clear();
+  for (VertexId w : waiters) {
+    if (w.valid()) {
+      mut_.record_stale_waiter(vid, w);
+      sink_.spawn(Task::return_val(vid, w, val, 3));
+    } else {
+      external_[vid.pack()] = val;
+    }
+  }
+  // A computed vertex no longer depends on its operands: drop the edges so
+  // consumed subgraphs become garbage for the collector. Node-valued
+  // vertices are the exception — a cons cell needs its fields, and a
+  // forwarder must keep the referent reachable for later acquirers (the
+  // retained-edge guarantee behind Mutator::acquire_reference).
+  if (!val.is_node()) {
+    while (!g_.at(vid).args.empty()) mut_.delete_reference_at(vid, 0);
+  }
+}
+
+void Machine::runtime_error(VertexId vid, const std::string& msg) {
+  if (error_.empty()) {
+    error_ = msg + " (vertex " + std::to_string(vid.pe) + ":" +
+             std::to_string(vid.idx) + ")";
+    DGR_WARN("reduction error: %s", error_.c_str());
+  }
+  // Complete with a defined-but-bogus value so the computation drains
+  // instead of wedging; callers must check has_error().
+  complete(vid, Value::of_int(0));
+}
+
+PeId Machine::pick_pe(PeId home) {
+  if (!opt_.scatter) return home;
+  return static_cast<PeId>(rr_++ % g_.num_pes());
+}
+
+}  // namespace dgr

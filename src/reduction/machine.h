@@ -1,0 +1,128 @@
+// The distributed demand-driven reduction machine.
+//
+// Implements the paper's reduction process over the operator graph (§2.1):
+// a strict vertex v requests the values of its args by spawning tasks
+// <v, d_i> (recorded in req-args_v(v) and requested(d_i)); values "return"
+// as tasks <d_i, v>; and function invocation splices a fresh template
+// instance below the call vertex (expand-node).
+//
+// Speculation (§3.2): with speculate_if on, a conditional eagerly requests
+// both branches (req-args_e) while the predicate is computed vitally. When
+// the predicate resolves, the taken branch is upgraded to vital and the
+// untaken one dereferenced — orphaning any still-running speculative tasks,
+// which the marking cycle later classifies irrelevant and expunges.
+//
+// All graph mutations go through the cooperating mutator primitives, so
+// reduction can run concurrently with marking.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/cooperation.h"
+#include "core/task.h"
+#include "reduction/program.h"
+
+namespace dgr {
+
+struct MachineOptions {
+  // Eagerly request both branches of every `if` (the paper's eager tasks).
+  bool speculate_if = false;
+  // Scatter instance vertices round-robin across PEs (true) or allocate them
+  // on the call vertex's PE (false).
+  bool scatter = true;
+};
+
+struct MachineStats {
+  std::uint64_t requests = 0;
+  std::uint64_t returns = 0;
+  std::uint64_t evals = 0;
+  std::uint64_t instantiations = 0;
+  std::uint64_t vertices_allocated = 0;
+  std::uint64_t prim_results = 0;
+  std::uint64_t if_resolutions = 0;
+  std::uint64_t speculative_requests = 0;
+  std::uint64_t dereferences = 0;
+  std::uint64_t alloc_failures = 0;
+};
+
+class Machine {
+ public:
+  Machine(Graph& g, Mutator& mut, TaskSink& sink, Program prog,
+          MachineOptions opt = {});
+
+  // Allocate a call vertex for a zero-argument function (default "main") on
+  // `pe`. Returns the vertex; demand() starts evaluation.
+  VertexId load_main(PeId pe = 0, const std::string& fn = "main");
+
+  // External demand for v's value (the initial <-,root> task).
+  void demand(VertexId v, ReqKind k = ReqKind::kVital);
+
+  // Reduction-task executor; wire into SimEngine::set_reducer.
+  void exec(const Task& t);
+
+  // Value of an externally demanded vertex, once computed.
+  std::optional<Value> result_of(VertexId v) const;
+
+  bool has_error() const { return !error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  const MachineStats& stats() const { return stats_; }
+
+  // Invoked when instantiation fails for want of free vertices (fixed
+  // capacity); typically wired to "start a GC cycle".
+  void set_exhaustion_handler(std::function<void()> fn) {
+    on_exhaustion_ = std::move(fn);
+  }
+
+  // Debug hook: invoked on every vertex completion.
+  using TraceFn = std::function<void(VertexId, OpCode, const Value&)>;
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+  // Debug hook: list-accessor field acquisition (accessor, cell, field).
+  using AcquireTraceFn = std::function<void(VertexId, VertexId, VertexId)>;
+  void set_acquire_trace(AcquireTraceFn fn) { acq_trace_ = std::move(fn); }
+  // Debug hook: every executed return (destination, sender, value).
+  using ReturnTraceFn = std::function<void(VertexId, VertexId, const Value&)>;
+  void set_return_trace(ReturnTraceFn fn) { ret_trace_ = std::move(fn); }
+
+ private:
+  // Pool priority for a task addressed to d: the inherited priority boosted
+  // by d's marked priority from the most recent M_R pass — the paper's
+  // dynamic prioritization applied to freshly spawned tasks, not only
+  // pooled ones (otherwise a vitally-upgraded chain advances one level per
+  // collection cycle while stale eager work drowns it).
+  std::uint8_t pool_prio(VertexId d, std::uint8_t inherited) const;
+
+  void exec_request(const Task& t);
+  void exec_return(const Task& t);
+  void exec_eval(VertexId v, std::uint8_t prio);
+
+  void eval_dispatch(VertexId v, std::uint8_t prio);
+  void instantiate(VertexId v, std::uint8_t prio);
+  void resolve_if(VertexId v, std::uint8_t prio);
+  void step_list_accessor(VertexId v, std::uint8_t prio);
+  void try_finish_prim(VertexId v);
+  void complete(VertexId v, const Value& val);
+  void runtime_error(VertexId v, const std::string& msg);
+
+  PeId pick_pe(PeId home);
+
+  Graph& g_;
+  Mutator& mut_;
+  TaskSink& sink_;
+  Program prog_;
+  MachineOptions opt_;
+  MachineStats stats_;
+  std::string error_;
+  std::function<void()> on_exhaustion_;
+  TraceFn trace_;
+  AcquireTraceFn acq_trace_;
+  ReturnTraceFn ret_trace_;
+  std::unordered_map<std::uint64_t, Value> external_;
+  std::uint64_t rr_ = 0;
+};
+
+}  // namespace dgr

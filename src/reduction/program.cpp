@@ -1,0 +1,271 @@
+#include "reduction/program.h"
+
+#include <optional>
+
+#include "util/assert.h"
+
+namespace dgr {
+
+namespace {
+
+using lang::Expr;
+using lang::ExprKind;
+
+struct FnSig {
+  std::uint32_t id;
+  std::uint32_t arity;
+};
+
+// List builtins: name → (opcode, arity). `nil` is handled as a variable.
+std::optional<std::pair<OpCode, std::uint32_t>> builtin_op(
+    const std::string& name) {
+  if (name == "cons") return {{OpCode::kCons, 2}};
+  if (name == "head") return {{OpCode::kHead, 1}};
+  if (name == "tail") return {{OpCode::kTail, 1}};
+  if (name == "isnil") return {{OpCode::kIsNil, 1}};
+  return std::nullopt;
+}
+
+bool is_reserved(const std::string& name) {
+  return name == "nil" || builtin_op(name).has_value();
+}
+
+struct Compiler {
+  const std::unordered_map<std::string, FnSig>& fns;
+  Template tpl;
+  // Reserved-slot aliases (see compile_let): alias[i] = the ref node i
+  // actually stands for.
+  std::unordered_map<std::uint32_t, TRef> alias;
+
+  std::uint32_t add_node(TNode n) {
+    tpl.nodes.push_back(std::move(n));
+    return static_cast<std::uint32_t>(tpl.nodes.size() - 1);
+  }
+
+  using Env = std::unordered_map<std::string, TRef>;
+
+  TRef compile(const Expr& e, Env& env) {
+    switch (e.kind) {
+      case ExprKind::kNum:
+      case ExprKind::kBool: {
+        TNode n;
+        n.op = OpCode::kLit;
+        n.lit = e.num;
+        n.lit_is_bool = e.kind == ExprKind::kBool;
+        return TRef::node(add_node(std::move(n)));
+      }
+      case ExprKind::kVar: {
+        auto it = env.find(e.name);
+        if (it != env.end()) return it->second;
+        if (e.name == "nil") {
+          TNode n;
+          n.op = OpCode::kNil;
+          return TRef::node(add_node(std::move(n)));
+        }
+        throw CompileError("unbound variable '" + e.name + "'");
+      }
+      case ExprKind::kLet:
+        return compile_let(e, env);
+      default: {
+        const std::uint32_t idx = add_node(TNode{});
+        compile_into(idx, e, env);
+        return TRef::node(idx);
+      }
+    }
+  }
+
+  // Compile `e` so that its root operator occupies node `idx` (needed for
+  // recursive lets, where the bound name must refer to the node before its
+  // definition is compiled). Var/Num/Bool/Let roots that merely alias
+  // another ref record an alias instead.
+  void compile_into(std::uint32_t idx, const Expr& e, Env& env) {
+    switch (e.kind) {
+      case ExprKind::kBin: {
+        TNode n;
+        n.op = e.op;
+        n.children.push_back(compile(*e.kids[0], env));
+        n.children.push_back(compile(*e.kids[1], env));
+        tpl.nodes[idx] = std::move(n);
+        return;
+      }
+      case ExprKind::kNot: {
+        TNode n;
+        n.op = OpCode::kNot;
+        n.children.push_back(compile(*e.kids[0], env));
+        tpl.nodes[idx] = std::move(n);
+        return;
+      }
+      case ExprKind::kIf: {
+        TNode n;
+        n.op = OpCode::kIf;
+        for (const auto& k : e.kids) n.children.push_back(compile(*k, env));
+        tpl.nodes[idx] = std::move(n);
+        return;
+      }
+      case ExprKind::kCall: {
+        // List builtins compile to dedicated operators.
+        if (const auto b = builtin_op(e.name); b.has_value()) {
+          const auto& [bop, barity] = *b;
+          if (e.kids.size() != barity)
+            throw CompileError("arity mismatch calling builtin '" + e.name +
+                               "'");
+          TNode n;
+          n.op = bop;
+          for (const auto& k : e.kids) n.children.push_back(compile(*k, env));
+          tpl.nodes[idx] = std::move(n);
+          return;
+        }
+        auto it = fns.find(e.name);
+        if (it == fns.end())
+          throw CompileError("unknown function '" + e.name + "'");
+        if (it->second.arity != e.kids.size())
+          throw CompileError("arity mismatch calling '" + e.name + "': got " +
+                             std::to_string(e.kids.size()) + ", want " +
+                             std::to_string(it->second.arity));
+        TNode n;
+        n.op = OpCode::kCall;
+        n.fn_id = it->second.id;
+        for (const auto& k : e.kids) n.children.push_back(compile(*k, env));
+        tpl.nodes[idx] = std::move(n);
+        return;
+      }
+      case ExprKind::kNum:
+      case ExprKind::kBool: {
+        TNode n;
+        n.op = OpCode::kLit;
+        n.lit = e.num;
+        n.lit_is_bool = e.kind == ExprKind::kBool;
+        tpl.nodes[idx] = std::move(n);
+        return;
+      }
+      case ExprKind::kVar: {
+        auto it = env.find(e.name);
+        if (it == env.end())
+          throw CompileError("unbound variable '" + e.name + "'");
+        alias.emplace(idx, it->second);
+        return;
+      }
+      case ExprKind::kLet: {
+        // Bind the inner let, then compile its body into this slot.
+        Env inner = env;
+        bind_let(*e.kids[0], e.name, inner);
+        compile_into(idx, *e.kids[1], inner);
+        return;
+      }
+    }
+  }
+
+  // Establish env[name] for a (recursive) let binding and compile the bound
+  // expression.
+  void bind_let(const Expr& bound, const std::string& name, Env& env) {
+    if (bound.kind == ExprKind::kVar || bound.kind == ExprKind::kNum ||
+        bound.kind == ExprKind::kBool) {
+      // Non-recursive trivially (a bare var can't legally self-reference).
+      env[name] = compile(bound, env);
+      return;
+    }
+    const std::uint32_t idx = add_node(TNode{});
+    env[name] = TRef::node(idx);  // visible in its own definition (letrec)
+    compile_into(idx, bound, env);
+  }
+
+  TRef compile_let(const Expr& e, Env& env) {
+    Env inner = env;
+    bind_let(*e.kids[0], e.name, inner);
+    return compile(*e.kids[1], inner);
+  }
+
+  TRef resolve(TRef r) const {
+    std::size_t hops = 0;
+    while (!r.is_param) {
+      auto it = alias.find(r.idx);
+      if (it == alias.end()) break;
+      r = it->second;
+      if (++hops > alias.size())
+        throw CompileError("unresolvable let-alias cycle in '" + tpl.name +
+                           "'");
+    }
+    return r;
+  }
+
+  // Resolve aliases everywhere, then drop nodes unreachable from the root.
+  void finalize(TRef root) {
+    root = resolve(root);
+    for (TNode& n : tpl.nodes)
+      for (TRef& c : n.children) c = resolve(c);
+
+    std::vector<std::int64_t> remap(tpl.nodes.size(), -1);
+    std::vector<TNode> kept;
+    if (!root.is_param) {
+      // Iterative DFS collecting reachable nodes in stable order.
+      std::vector<std::uint32_t> stack{root.idx};
+      while (!stack.empty()) {
+        const std::uint32_t i = stack.back();
+        stack.pop_back();
+        if (remap[i] >= 0) continue;
+        remap[i] = 0;  // visited marker; real index assigned below
+        for (const TRef& c : tpl.nodes[i].children)
+          if (!c.is_param && remap[c.idx] < 0) stack.push_back(c.idx);
+      }
+      // Assign compact indices in original order (deterministic layout).
+      std::uint32_t next = 0;
+      for (std::uint32_t i = 0; i < tpl.nodes.size(); ++i)
+        if (remap[i] >= 0) remap[i] = next++;
+      kept.reserve(next);
+      for (std::uint32_t i = 0; i < tpl.nodes.size(); ++i)
+        if (remap[i] >= 0) kept.push_back(std::move(tpl.nodes[i]));
+      for (TNode& n : kept)
+        for (TRef& c : n.children)
+          if (!c.is_param) c.idx = static_cast<std::uint32_t>(remap[c.idx]);
+      root.idx = static_cast<std::uint32_t>(remap[root.idx]);
+    }
+    tpl.nodes = std::move(kept);
+    tpl.root = root;
+  }
+};
+
+}  // namespace
+
+Program Program::compile(const lang::ProgramAst& ast) {
+  Program p;
+  std::unordered_map<std::string, FnSig> fns;
+  for (const lang::Def& d : ast.defs) {
+    if (is_reserved(d.name))
+      throw CompileError("'" + d.name + "' is a reserved builtin");
+    if (fns.count(d.name))
+      throw CompileError("duplicate definition of '" + d.name + "'");
+    fns[d.name] = FnSig{static_cast<std::uint32_t>(p.templates_.size()),
+                        static_cast<std::uint32_t>(d.params.size())};
+    p.templates_.emplace_back();
+  }
+  for (const lang::Def& d : ast.defs) {
+    Compiler c{fns, Template{}, {}};
+    c.tpl.name = d.name;
+    c.tpl.nparams = static_cast<std::uint32_t>(d.params.size());
+    Compiler::Env env;
+    for (std::uint32_t i = 0; i < d.params.size(); ++i) {
+      if (env.count(d.params[i]))
+        throw CompileError("duplicate parameter '" + d.params[i] + "' in '" +
+                           d.name + "'");
+      env[d.params[i]] = TRef::param(i);
+    }
+    const TRef root = c.compile(*d.body, env);
+    c.finalize(root);
+    p.templates_[fns[d.name].id] = std::move(c.tpl);
+  }
+  p.by_name_.reserve(fns.size());
+  for (const auto& [name, sig] : fns) p.by_name_[name] = sig.id;
+  return p;
+}
+
+Program Program::from_source(const std::string& src) {
+  return compile(lang::parse_program(src));
+}
+
+std::uint32_t Program::fn_id(const std::string& name) const {
+  auto it = by_name_.find(name);
+  DGR_CHECK_MSG(it != by_name_.end(), "unknown function");
+  return it->second;
+}
+
+}  // namespace dgr

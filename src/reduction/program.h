@@ -1,0 +1,74 @@
+// Compiled program representation: one graph template per function.
+//
+// A template is the paper's "arbitrary subgraph (obtained from the free
+// list)" that expand-node splices below a vertex (Fig 4-2): calling a
+// function allocates fresh vertices for the template's nodes, wires
+// parameter references to the caller's actual-argument subgraphs (sharing
+// them — a parameter used twice yields two edges to the same vertex), and
+// rewrites the call vertex into the instance's root operator.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/opcode.h"
+#include "reduction/lang.h"
+
+namespace dgr {
+
+struct TRef {
+  bool is_param = false;
+  std::uint32_t idx = 0;  // node index or parameter index
+
+  static TRef node(std::uint32_t i) { return TRef{false, i}; }
+  static TRef param(std::uint32_t i) { return TRef{true, i}; }
+  friend bool operator==(TRef a, TRef b) {
+    return a.is_param == b.is_param && a.idx == b.idx;
+  }
+};
+
+struct TNode {
+  OpCode op = OpCode::kLit;
+  std::int64_t lit = 0;
+  bool lit_is_bool = false;
+  std::uint32_t fn_id = 0;  // for kCall
+  std::vector<TRef> children;
+};
+
+struct Template {
+  std::string name;
+  std::uint32_t nparams = 0;
+  std::vector<TNode> nodes;
+  TRef root;  // node or parameter the function's value aliases
+};
+
+class CompileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Program {
+ public:
+  // Compile a parsed program. Throws CompileError on unknown names, arity
+  // mismatches, or unresolvable let-alias cycles.
+  static Program compile(const lang::ProgramAst& ast);
+
+  // Convenience: parse + compile.
+  static Program from_source(const std::string& src);
+
+  const Template& fn(std::uint32_t id) const { return templates_.at(id); }
+  std::uint32_t fn_id(const std::string& name) const;
+  bool has_fn(const std::string& name) const {
+    return by_name_.count(name) != 0;
+  }
+  std::size_t num_fns() const { return templates_.size(); }
+
+ private:
+  std::vector<Template> templates_;
+  std::unordered_map<std::string, std::uint32_t> by_name_;
+};
+
+}  // namespace dgr

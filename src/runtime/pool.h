@@ -1,0 +1,111 @@
+// Per-PE task pool with dynamic priorities (Hudak §3.2, §5.2).
+//
+// "each [PE] maintains a list taskpool(i) of all reduction tasks whose
+// destination resides on that PE". Tasks are held in three priority buckets
+// (3 = vital, 2 = eager, 1 = reserve); the PE always serves the highest
+// non-empty bucket, which is how vital tasks outcompete eager ones when
+// resources are limited. The restructuring phase moves tasks between buckets
+// (reprioritize) and deletes irrelevant ones (expunge).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "core/task.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace dgr {
+
+class TaskPool {
+ public:
+  void push(Task t) {
+    const int b = bucket(t.pool_prior);
+    buckets_[b].push_back(std::move(t));
+    ++size_;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  // Pop from the highest-priority non-empty bucket. `rng`, when provided,
+  // picks a random element within the bucket (interleaving coverage in the
+  // simulator); otherwise FIFO.
+  Task pop(Rng* rng = nullptr) {
+    DGR_CHECK(size_ > 0);
+    for (int b = 2; b >= 0; --b) {
+      auto& q = buckets_[b];
+      if (q.empty()) continue;
+      std::size_t i = 0;
+      if (rng && q.size() > 1) i = rng->below(q.size());
+      Task t = std::move(q[i]);
+      q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+      --size_;
+      return t;
+    }
+    DGR_CHECK(false);
+    return Task{};
+  }
+
+  // Delete all tasks satisfying `kill`; returns how many were expunged.
+  std::size_t expunge(const std::function<bool(const Task&)>& kill) {
+    std::size_t n = 0;
+    for (auto& q : buckets_) {
+      for (std::size_t i = 0; i < q.size();) {
+        if (kill(q[i])) {
+          q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+          ++n;
+        } else {
+          ++i;
+        }
+      }
+    }
+    size_ -= n;
+    return n;
+  }
+
+  // Recompute each task's priority; returns how many tasks moved buckets.
+  std::size_t reprioritize(
+      const std::function<std::uint8_t(const Task&)>& prio) {
+    std::size_t moved = 0;
+    std::deque<Task> moving;
+    for (int b = 0; b < 3; ++b) {
+      auto& q = buckets_[b];
+      for (std::size_t i = 0; i < q.size();) {
+        const std::uint8_t p = prio(q[i]);
+        if (bucket(p) != b) {
+          Task t = std::move(q[i]);
+          t.pool_prior = p;
+          moving.push_back(std::move(t));
+          q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+          ++moved;
+        } else {
+          q[i].pool_prior = p;
+          ++i;
+        }
+      }
+    }
+    for (Task& t : moving) {
+      buckets_[bucket(t.pool_prior)].push_back(std::move(t));
+    }
+    return moved;
+  }
+
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (const auto& q : buckets_)
+      for (const Task& t : q) fn(t);
+  }
+
+ private:
+  static int bucket(std::uint8_t prior) {
+    if (prior >= 3) return 2;
+    if (prior == 2) return 1;
+    return 0;
+  }
+  std::deque<Task> buckets_[3];
+  std::size_t size_ = 0;
+};
+
+}  // namespace dgr

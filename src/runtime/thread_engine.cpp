@@ -1,0 +1,212 @@
+#include "runtime/thread_engine.h"
+
+#include <algorithm>
+#include <shared_mutex>
+
+#include "net/wire.h"
+
+namespace dgr {
+
+namespace {
+thread_local int tl_pe = -1;  // PE id of the current thread, -1 = external
+
+// Mutation gate shared between external mutators and the quiescing
+// restructurer. Static keeps the header light; engines are few.
+std::shared_mutex& mutation_gate() {
+  static std::shared_mutex gate;
+  return gate;
+}
+}  // namespace
+
+ThreadEngine::ThreadEngine(Graph& g) : g_(g), locks_(4096) {
+  marker_ = std::make_unique<Marker>(g_, *this);
+  mutator_ = std::make_unique<Mutator>(g_, *marker_);
+  controller_ =
+      std::make_unique<Controller>(g_, *marker_, *this, VertexId::invalid());
+  // Restructuring must not run from inside a task execution (the completing
+  // task holds its vertex lock); the PE loops pick it up lock-free.
+  controller_->set_deferred_restructure(true);
+  for (PeId pe = 0; pe < g_.num_pes(); ++pe) {
+    mail_.push_back(std::make_unique<Mailbox>());
+    pools_.push_back(std::make_unique<TaskPool>());
+    pool_mu_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+ThreadEngine::~ThreadEngine() { stop(); }
+
+void ThreadEngine::start() {
+  if (running_.exchange(true)) return;
+  for (PeId pe = 0; pe < g_.num_pes(); ++pe)
+    threads_.emplace_back([this, pe] { pe_loop(pe); });
+}
+
+void ThreadEngine::stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& m : mail_) m->close();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+void ThreadEngine::lock_vertex(VertexId v) {
+  auto& f = locks_[lock_index(v)];
+  while (f.test_and_set(std::memory_order_acquire)) {
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+  }
+}
+
+void ThreadEngine::unlock_vertex(VertexId v) {
+  locks_[lock_index(v)].clear(std::memory_order_release);
+}
+
+void ThreadEngine::spawn(Task t) {
+  DGR_CHECK(t.d.valid() && !t.d.is_rootpar());
+  const PeId src = tl_pe >= 0 ? static_cast<PeId>(tl_pe) : t.d.pe;
+  if (src == t.d.pe) {
+    local_msgs_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    remote_msgs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (task_is_marking(t.kind)) {
+    std::vector<std::uint8_t> bytes = encode_task(t);
+    bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    mail_[t.d.pe]->deliver(std::move(bytes));
+  } else {
+    // Reduction tasks are inert pool workload in this engine (the full
+    // reduction machine runs on the deterministic SimEngine).
+    inject(std::move(t));
+  }
+}
+
+void ThreadEngine::inject(Task t) {
+  const PeId pe = t.d.pe;
+  std::lock_guard<std::mutex> lk(*pool_mu_[pe]);
+  pools_[pe]->push(std::move(t));
+}
+
+void ThreadEngine::pe_loop(PeId pe) {
+  tl_pe = static_cast<int>(pe);
+  while (running_.load(std::memory_order_relaxed)) {
+    if (pause_.load(std::memory_order_acquire)) {
+      parked_.fetch_add(1, std::memory_order_acq_rel);
+      while (pause_.load(std::memory_order_acquire) &&
+             running_.load(std::memory_order_relaxed))
+        std::this_thread::yield();
+      parked_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    if (controller_->restructure_due() &&
+        !restructure_claim_.test_and_set(std::memory_order_acq_rel)) {
+      if (controller_->restructure_due()) controller_->run_restructure();
+      restructure_claim_.clear(std::memory_order_release);
+      continue;
+    }
+    auto msg = mail_[pe]->try_receive();
+    if (!msg) {
+      std::this_thread::yield();
+      continue;
+    }
+    const Task t = decode_task(*msg);
+    execute(pe, t);
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  tl_pe = -1;
+}
+
+void ThreadEngine::execute(PeId pe, const Task& t) {
+  (void)pe;
+  DGR_CHECK(task_is_marking(t.kind));
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  // Atomicity of task execution (§2.1): a marking task touches only its
+  // destination vertex, so its lock is the whole story.
+  lock_vertex(t.d);
+  marker_->exec(t);
+  unlock_vertex(t.d);
+}
+
+void ThreadEngine::atomically(std::initializer_list<VertexId> vs,
+                              const std::function<void()>& fn) {
+  std::shared_lock<std::shared_mutex> gate(mutation_gate());
+  // Sorted, deduplicated (by lock index) acquisition avoids both deadlock
+  // and double-locking of aliased stripes.
+  std::vector<std::uint32_t> idx;
+  idx.reserve(vs.size());
+  for (VertexId v : vs) idx.push_back(lock_index(v));
+  std::sort(idx.begin(), idx.end());
+  idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+  for (std::uint32_t i : idx)
+    while (locks_[i].test_and_set(std::memory_order_acquire))
+      std::this_thread::yield();
+  fn();
+  for (auto it = idx.rbegin(); it != idx.rend(); ++it)
+    locks_[*it].clear(std::memory_order_release);
+}
+
+void ThreadEngine::quiesce_begin() {
+  // Exclusive against external mutators...
+  mutation_gate().lock();
+  // ...and against the PE threads (minus the caller, if it is one).
+  pause_.store(true, std::memory_order_release);
+  const std::uint32_t expected =
+      g_.num_pes() - (tl_pe >= 0 ? 1u : 0u);
+  while (parked_.load(std::memory_order_acquire) < expected)
+    std::this_thread::yield();
+}
+
+void ThreadEngine::quiesce_end() {
+  pause_.store(false, std::memory_order_release);
+  mutation_gate().unlock();
+}
+
+void ThreadEngine::wait_quiescent() {
+  while (outstanding_.load(std::memory_order_acquire) > 0)
+    std::this_thread::yield();
+}
+
+void ThreadEngine::wait_cycle_done() {
+  while (!controller_->idle()) std::this_thread::yield();
+}
+
+void ThreadEngine::collect_task_refs(std::vector<TaskRef>& out) {
+  for (PeId pe = 0; pe < g_.num_pes(); ++pe) {
+    std::lock_guard<std::mutex> lk(*pool_mu_[pe]);
+    pools_[pe]->for_each(
+        [&](const Task& t) { out.push_back(TaskRef{t.s, t.d}); });
+  }
+}
+
+std::size_t ThreadEngine::expunge_tasks(
+    const std::function<bool(const Task&)>& kill) {
+  std::size_t n = 0;
+  for (PeId pe = 0; pe < g_.num_pes(); ++pe) {
+    std::lock_guard<std::mutex> lk(*pool_mu_[pe]);
+    n += pools_[pe]->expunge(kill);
+  }
+  return n;
+}
+
+std::size_t ThreadEngine::reprioritize_tasks(
+    const std::function<std::uint8_t(const Task&)>& prio) {
+  std::size_t n = 0;
+  for (PeId pe = 0; pe < g_.num_pes(); ++pe) {
+    std::lock_guard<std::mutex> lk(*pool_mu_[pe]);
+    n += pools_[pe]->reprioritize(prio);
+  }
+  return n;
+}
+
+ThreadEngineStats ThreadEngine::stats() const {
+  ThreadEngineStats s;
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.remote_messages = remote_msgs_.load(std::memory_order_relaxed);
+  s.local_messages = local_msgs_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dgr

@@ -1,0 +1,131 @@
+// Multi-threaded engine: one OS thread per PE.
+//
+// Realizes the paper's machine with genuine parallelism: every PE runs its
+// own thread, cross-PE task spawns travel as serialized byte messages
+// through mailboxes (no shared task objects), and task execution is made
+// atomic by per-vertex spinlocks — a mark or return task touches only its
+// destination vertex, so marking scales across PEs with no shared stack or
+// queue, exactly the paper's decentralization claim (E8).
+//
+// Mutations (the cooperating primitives) touch several vertices; callers
+// take the locks of the touch set in id order via LockSet. The restructuring
+// phase runs under a brief global pause (quiesce) — the paper requires only
+// the MARK phase to be concurrent (§4: "we concentrate solely upon the mark
+// phase").
+//
+// Scope: this engine drives marking workloads plus driver-based mutation
+// (the full reduction Machine runs on the deterministic SimEngine; see
+// DESIGN.md §2, substitution 1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/cooperation.h"
+#include "core/marker.h"
+#include "net/mailbox.h"
+#include "runtime/pool.h"
+
+namespace dgr {
+
+// Sorted-order acquisition of per-vertex spinlocks; RAII release.
+class VertexLocks;
+
+struct ThreadEngineStats {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t remote_messages = 0;
+  std::uint64_t local_messages = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class ThreadEngine final : public TaskSink, public EngineHooks {
+ public:
+  explicit ThreadEngine(Graph& g);
+  ~ThreadEngine() override;
+
+  ThreadEngine(const ThreadEngine&) = delete;
+  ThreadEngine& operator=(const ThreadEngine&) = delete;
+
+  Graph& graph() { return g_; }
+  Marker& marker() { return *marker_; }
+  Mutator& mutator() { return *mutator_; }
+  Controller& controller() { return *controller_; }
+
+  void set_root(VertexId root) { controller_->set_root(root); }
+
+  // Start the PE threads (idempotent).
+  void start();
+  // Stop the PE threads; pending work is abandoned.
+  void stop();
+
+  // Block until no task is pending or executing anywhere.
+  void wait_quiescent();
+  // Block until the controller finishes the in-progress cycle.
+  void wait_cycle_done();
+
+  // Inject an inert reduction task into its destination pool (workload for
+  // M_T / classification benches).
+  void inject(Task t);
+
+  // ---- TaskSink (thread-safe) ----
+  void spawn(Task t) override;
+
+  // ---- EngineHooks ----
+  void collect_task_refs(std::vector<TaskRef>& out) override;
+  std::size_t expunge_tasks(
+      const std::function<bool(const Task&)>& kill) override;
+  std::size_t reprioritize_tasks(
+      const std::function<std::uint8_t(const Task&)>& prio) override;
+  void quiesce_begin() override;
+  void quiesce_end() override;
+
+  // Execute `fn` with the listed vertices' locks held (sorted order) —
+  // the atomic section for a multi-vertex mutation.
+  void atomically(std::initializer_list<VertexId> vs,
+                  const std::function<void()>& fn);
+
+  ThreadEngineStats stats() const;
+
+ private:
+  friend class VertexLocks;
+
+  void pe_loop(PeId pe);
+  void execute(PeId pe, const Task& t);
+  std::uint32_t lock_index(VertexId v) const {
+    return static_cast<std::uint32_t>(VertexIdHash{}(v) % locks_.size());
+  }
+  void lock_vertex(VertexId v);
+  void unlock_vertex(VertexId v);
+
+  Graph& g_;
+  std::unique_ptr<Marker> marker_;
+  std::unique_ptr<Mutator> mutator_;
+  std::unique_ptr<Controller> controller_;
+
+  std::vector<std::unique_ptr<Mailbox>> mail_;
+  std::vector<std::unique_ptr<TaskPool>> pools_;  // inert reduction tasks
+  std::vector<std::unique_ptr<std::mutex>> pool_mu_;
+
+  std::vector<std::atomic_flag> locks_;
+
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> outstanding_{0};  // spawned, not yet executed
+
+  // Quiesce protocol: a pauser raises `pause_`; every other PE thread parks
+  // and reports in via `parked_`.
+  std::atomic<bool> pause_{false};
+  std::atomic<std::uint32_t> parked_{0};
+  std::atomic_flag restructure_claim_ = ATOMIC_FLAG_INIT;
+
+  mutable std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> remote_msgs_{0};
+  std::atomic<std::uint64_t> local_msgs_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace dgr

@@ -1,0 +1,36 @@
+// Lightweight assertion macros used throughout the library.
+//
+// DGR_ASSERT is compiled out in NDEBUG builds; DGR_CHECK is always on and is
+// used to guard invariants whose violation would corrupt distributed state
+// (e.g. the marking invariants of Hudak §5.4.1).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dgr {
+
+[[noreturn]] inline void assert_fail(const char* cond, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "dgr: check failed: %s at %s:%d%s%s\n", cond, file,
+               line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace dgr
+
+#define DGR_CHECK(cond)                                       \
+  do {                                                        \
+    if (!(cond)) ::dgr::assert_fail(#cond, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define DGR_CHECK_MSG(cond, msg)                              \
+  do {                                                        \
+    if (!(cond)) ::dgr::assert_fail(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define DGR_ASSERT(cond) ((void)0)
+#else
+#define DGR_ASSERT(cond) DGR_CHECK(cond)
+#endif

@@ -1,0 +1,36 @@
+#include "util/log.h"
+
+#include <atomic>
+
+namespace dgr {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_impl(LogLevel level, const char* fmt, ...) {
+  char buf[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  std::fprintf(stderr, "[dgr %s] %s\n", level_name(level), buf);
+}
+
+}  // namespace dgr

@@ -1,0 +1,30 @@
+// Minimal leveled logging. Off by default; enabled per-run for debugging.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace dgr {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+// Global log threshold; messages above it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_impl(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace dgr
+
+#define DGR_LOG(level, ...)                                  \
+  do {                                                       \
+    if (static_cast<int>(level) <=                           \
+        static_cast<int>(::dgr::log_level()))                \
+      ::dgr::log_impl(level, __VA_ARGS__);                   \
+  } while (0)
+
+#define DGR_ERROR(...) DGR_LOG(::dgr::LogLevel::kError, __VA_ARGS__)
+#define DGR_WARN(...) DGR_LOG(::dgr::LogLevel::kWarn, __VA_ARGS__)
+#define DGR_INFO(...) DGR_LOG(::dgr::LogLevel::kInfo, __VA_ARGS__)
+#define DGR_DEBUG(...) DGR_LOG(::dgr::LogLevel::kDebug, __VA_ARGS__)

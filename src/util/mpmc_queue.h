@@ -1,0 +1,75 @@
+// Unbounded multi-producer multi-consumer queue used for PE mailboxes in the
+// multi-threaded engine.
+//
+// A mutex+condvar design is deliberately chosen over a lock-free ring: PE
+// mailboxes in this system carry coarse task messages (hundreds of ns of work
+// each), so queue overhead is not the bottleneck, and blocking pop with
+// shutdown semantics keeps the engine simple and correct.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace dgr {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  void push(T item) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      q_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  // Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (q_.empty()) return std::nullopt;
+    T item = std::move(q_.front());
+    q_.pop_front();
+    return item;
+  }
+
+  // Blocking pop; returns nullopt once the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return std::nullopt;
+    T item = std::move(q_.front());
+    q_.pop_front();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return q_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> q_;
+  bool closed_ = false;
+};
+
+}  // namespace dgr

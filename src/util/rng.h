@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in the simulator that needs randomness (delivery order, workload
+// generation, adversarial schedules) derives from a seeded Xoshiro256**
+// stream so that every run is reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+
+namespace dgr {
+
+// SplitMix64: used to seed Xoshiro and to hash seeds into substreams.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Xoshiro256** by Blackman & Vigna; small, fast, high quality.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9d2c5680u) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  // Derive an independent substream (e.g. one per PE) from this seed.
+  static Rng substream(std::uint64_t seed, std::uint64_t stream) {
+    std::uint64_t sm = seed ^ (0x632be59bd9b4e019ull * (stream + 1));
+    return Rng(splitmix64(sm));
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() { return next(); }
+
+  // Uniform integer in [0, bound). Lemire-style rejection-free reduction is
+  // adequate here (bias < 2^-64 * bound, irrelevant for simulation use).
+  std::uint64_t below(std::uint64_t bound) {
+    return bound ? static_cast<std::uint64_t>(
+                       (static_cast<unsigned __int128>(next()) * bound) >> 64)
+                 : 0;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) { return uniform01() < p; }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ull; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace dgr

@@ -1,0 +1,109 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dgr {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void OnlineStats::reset() { *this = OnlineStats{}; }
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+namespace {
+// 32 sub-buckets per power of two, values clamped to [2^-16, 2^48).
+constexpr int kSubBuckets = 32;
+constexpr int kMinExp = -16;
+constexpr int kMaxExp = 48;
+constexpr int kNumBuckets = (kMaxExp - kMinExp) * kSubBuckets;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::bucket_for(double x) {
+  if (!(x > 0)) return 0;
+  const double lg = std::log2(x);
+  int b = static_cast<int>(std::floor((lg - kMinExp) * kSubBuckets));
+  return std::clamp(b, 0, kNumBuckets - 1);
+}
+
+double Histogram::bucket_mid(int b) {
+  const double lg = kMinExp + (static_cast<double>(b) + 0.5) / kSubBuckets;
+  return std::exp2(lg);
+}
+
+void Histogram::add(double x) {
+  ++buckets_[static_cast<std::size_t>(bucket_for(x))];
+  ++total_;
+  max_ = std::max(max_, x);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = 0;
+  max_ = 0.0;
+}
+
+double Histogram::percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)];
+    if (seen >= target) return bucket_mid(b);
+  }
+  return max_;
+}
+
+std::string Histogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu p50=%.3g p90=%.3g p99=%.3g max=%.3g",
+                static_cast<unsigned long long>(total_), percentile(50),
+                percentile(90), percentile(99), max_);
+  return buf;
+}
+
+}  // namespace dgr

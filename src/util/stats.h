@@ -1,0 +1,56 @@
+// Online statistics and histograms used by the metrics layer and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dgr {
+
+// Welford's online mean/variance plus min/max.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+  void reset();
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Log-bucketed histogram for latency-like quantities; ~4% relative precision.
+class Histogram {
+ public:
+  Histogram();
+  void add(double x);
+  void merge(const Histogram& other);
+  void reset();
+
+  std::uint64_t count() const { return total_; }
+  double percentile(double p) const;  // p in [0,100]
+  double p50() const { return percentile(50); }
+  double p99() const { return percentile(99); }
+  double max_value() const { return max_; }
+  std::string summary() const;
+
+ private:
+  static int bucket_for(double x);
+  static double bucket_mid(int b);
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  double max_ = 0.0;
+};
+
+}  // namespace dgr

@@ -1,0 +1,196 @@
+// Tests for the §6 compact marking variant: two-color marking with per-PE
+// Dijkstra-Scholten termination (two words of marking state per PE), against
+// the oracle, under concurrent mutation, and under full reduction workloads.
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/oracle.h"
+#include "reduction/machine.h"
+#include "runtime/sim_engine.h"
+
+namespace dgr {
+namespace {
+
+TEST(Compact, MarksStaticGraphLikeOracle) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Graph g(8);
+    RandomGraphOptions opt;
+    opt.num_vertices = 400;
+    opt.seed = seed;
+    const BuiltGraph b = build_random_graph(g, opt);
+    Oracle o(g, b.root, {});
+    SimOptions sopt;
+    sopt.seed = seed + 100;
+    SimEngine eng(g, sopt);
+    eng.set_root(b.root);
+    CompactCollector& cc = eng.enable_compact_collector();
+    cc.set_root(b.root);
+    cc.start_cycle();
+    eng.run_until_compact_done(10'000'000);
+    EXPECT_EQ(cc.last().swept, o.count_GAR()) << "seed " << seed;
+    for (VertexId v : b.vertices) {
+      if (g.is_free(v)) continue;
+      EXPECT_EQ(eng.compact_marker().is_marked(v), o.in_R(v));
+      EXPECT_EQ(eng.compact_marker().prior(v), o.prior_at(v));
+    }
+  }
+}
+
+TEST(Compact, TerminationOnCyclesAndSelfLoops) {
+  Graph g(2);
+  const VertexId root = g.alloc(0, OpCode::kData);
+  const VertexId a = g.alloc(1, OpCode::kData);
+  connect(g, root, root, ReqKind::kVital);  // self loop
+  connect(g, root, a, ReqKind::kVital);
+  connect(g, a, root, ReqKind::kVital);  // 2-cycle
+  SimOptions sopt;
+  sopt.seed = 5;
+  SimEngine eng(g, sopt);
+  eng.set_root(root);
+  CompactCollector& cc = eng.enable_compact_collector();
+  cc.set_root(root);
+  cc.start_cycle();
+  eng.run_until_compact_done(1'000'000);
+  EXPECT_TRUE(eng.compact_marker().is_marked(root));
+  EXPECT_TRUE(eng.compact_marker().is_marked(a));
+  EXPECT_EQ(cc.last().swept, 0u);
+}
+
+TEST(Compact, AckVolumeMatchesMarkVolume) {
+  // Dijkstra-Scholten: every mark message is acknowledged exactly once
+  // (immediately, or deferred as the engagement ack).
+  Graph g(4);
+  const VertexId root = build_tree(g, 10, ReqKind::kVital);
+  SimOptions sopt;
+  sopt.seed = 2;
+  SimEngine eng(g, sopt);
+  eng.set_root(root);
+  CompactCollector& cc = eng.enable_compact_collector();
+  cc.set_root(root);
+  cc.start_cycle();
+  eng.run_until_compact_done(10'000'000);
+  const CompactStats& st = cc.last().stats;
+  EXPECT_EQ(st.marks, 2047u);  // one per edge + the initial
+  EXPECT_EQ(st.acks, st.marks);
+}
+
+// Concurrent mutation: multi-pass waves must not lose reachable vertices.
+class CompactMutationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompactMutationTest, NoReachableVertexLost) {
+  const std::uint64_t seed = GetParam();
+  Graph g(6);
+  RandomGraphOptions gopt;
+  gopt.num_vertices = 250;
+  gopt.p_detached = 0.25;
+  gopt.seed = seed;
+  const BuiltGraph b = build_random_graph(g, gopt);
+  std::vector<VertexId> gar_tb;
+  {
+    Oracle o(g, b.root, {});
+    for (VertexId v : b.vertices)
+      if (!g.is_free(v) && o.in_GAR(v)) gar_tb.push_back(v);
+  }
+  SimOptions sopt;
+  sopt.seed = seed ^ 0xfeed;
+  SimEngine eng(g, sopt);
+  eng.set_root(b.root);
+  CompactCollector& cc = eng.enable_compact_collector();
+  cc.set_root(b.root);
+  cc.start_cycle();
+
+  Rng rng(seed * 13 + 1);
+  auto sample = [&] {
+    VertexId v = b.root;
+    for (std::uint64_t i = rng.below(10); i > 0; --i) {
+      const Vertex& vx = g.at(v);
+      if (vx.args.empty()) break;
+      const VertexId nxt = vx.args[rng.below(vx.args.size())].to;
+      if (!nxt.valid() || g.is_free(nxt)) break;
+      v = nxt;
+    }
+    return v;
+  };
+  while (!cc.idle()) {
+    for (std::uint64_t i = rng.below(4); i > 0 && !cc.idle(); --i)
+      if (!eng.step()) break;
+    if (cc.idle()) break;
+    const VertexId a = sample();
+    switch (rng.below(3)) {
+      case 0:
+        if (!g.at(a).args.empty())
+          eng.mutator().delete_reference(a, g.at(a).args[0].to);
+        break;
+      case 1: {
+        if (g.at(a).args.empty()) break;
+        const VertexId bb = g.at(a).args[rng.below(g.at(a).args.size())].to;
+        if (!bb.valid() || g.is_free(bb) || g.at(bb).args.empty()) break;
+        const VertexId c = g.at(bb).args[0].to;
+        if (!c.valid() || g.is_free(c)) break;
+        eng.mutator().add_reference(a, bb, c, ReqKind::kVital);
+        eng.mutator().delete_reference(bb, c);
+        break;
+      }
+      case 2: {
+        const VertexId f = g.alloc_rr(OpCode::kData);
+        const VertexId fresh[] = {f};
+        eng.mutator().expand_node(a, fresh);
+        eng.mutator().add_reference_via(a, std::span<const VertexId>(&a, 1),
+                                        f, ReqKind::kEager);
+        break;
+      }
+    }
+  }
+  for (VertexId v : gar_tb) EXPECT_TRUE(g.is_free(v));
+  ASSERT_FALSE(g.is_free(b.root));
+  Oracle after(g, b.root, {});
+  g.for_each_live([&](VertexId v) {
+    if (after.in_R(v)) {
+      EXPECT_TRUE(eng.compact_marker().is_marked(v));
+    }
+    for (const ArgEdge& e : g.at(v).args) {
+      EXPECT_FALSE(g.is_free(e.to)) << "dangling edge (compact)";
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompactMutationTest,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+// Full reduction (with lists) collected by the compact variant.
+class CompactReductionTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompactReductionTest, StreamSumCorrectUnderCompactCycles) {
+  Graph g(4);
+  SimOptions sopt;
+  sopt.seed = GetParam();
+  SimEngine eng(g, sopt);
+  Machine m(g, eng.mutator(), eng,
+            Program::from_source(
+                "def from(n) = cons(n, from(n + 1));"
+                "def take_sum(k, xs) = if k == 0 then 0"
+                "  else head(xs) + take_sum(k - 1, tail(xs));"
+                "def main() = take_sum(30, from(1));"));
+  const VertexId root = m.load_main();
+  eng.set_root(root);
+  eng.set_reducer([&](const Task& t) { m.exec(t); });
+  CompactCollector& cc = eng.enable_compact_collector();
+  cc.set_root(root);
+  m.demand(root);
+  std::uint64_t swept = 0;
+  while (!m.result_of(root).has_value()) {
+    if (cc.idle()) cc.start_cycle();
+    ASSERT_TRUE(eng.step());
+    swept = cc.total_swept();
+  }
+  eng.run(100'000'000);
+  ASSERT_FALSE(m.has_error()) << m.error();
+  EXPECT_EQ(m.result_of(root)->as_int(), 465);
+  EXPECT_GT(cc.total_swept() + swept, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompactReductionTest,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace dgr

@@ -1,0 +1,193 @@
+// Unit tests for the distributed graph store: arenas, free lists (F),
+// connectivity helpers and the edge/request bookkeeping invariant
+// (e.req != kNone ⟺ requester ∈ requested(target)).
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+
+namespace dgr {
+namespace {
+
+TEST(Store, AllocFromFreeListThenGrow) {
+  Store s(0, 2);
+  EXPECT_EQ(s.free_count(), 2u);
+  const VertexId a = s.alloc(OpCode::kData);
+  const VertexId b = s.alloc(OpCode::kData);
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(s.free_count(), 0u);
+  // Grows by default.
+  const VertexId c = s.alloc(OpCode::kData);
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(s.live_count(), 3u);
+}
+
+TEST(Store, FixedCapacityExhausts) {
+  Store s(0, 1);
+  s.set_fixed_capacity(true);
+  EXPECT_TRUE(s.alloc(OpCode::kData).valid());
+  EXPECT_FALSE(s.alloc(OpCode::kData).valid());
+}
+
+TEST(Store, ReleaseReturnsToFreeList) {
+  Store s(0, 1);
+  const VertexId a = s.alloc(OpCode::kLit);
+  s.at(a.idx).value = Value::of_int(7);
+  s.release(a.idx);
+  EXPECT_EQ(s.free_count(), 1u);
+  EXPECT_TRUE(s.is_free(a.idx));
+  const VertexId b = s.alloc(OpCode::kData);
+  EXPECT_EQ(b.idx, a.idx);  // slot reused
+  EXPECT_FALSE(s.at(b.idx).value.defined());  // payload was reset
+}
+
+TEST(Store, ReleasePreservesMarkPlanes) {
+  Store s(0, 1);
+  const VertexId a = s.alloc(OpCode::kData);
+  s.at(a.idx).plane(Plane::kR).epoch = 42;
+  s.release(a.idx);
+  const VertexId b = s.alloc(OpCode::kData);
+  EXPECT_EQ(s.at(b.idx).plane(Plane::kR).epoch, 42u);
+}
+
+TEST(Store, TaskrootIsAuxAndStable) {
+  Store s(0, 4);
+  const VertexId tr1 = s.taskroot();
+  const VertexId tr2 = s.taskroot();
+  EXPECT_EQ(tr1, tr2);
+  EXPECT_TRUE(s.at(tr1.idx).aux);
+  EXPECT_EQ(s.at(tr1.idx).op, OpCode::kTaskRoot);
+  // Aux vertices invisible to for_each_live.
+  int live_seen = 0;
+  s.for_each_live([&](std::uint32_t) { ++live_seen; });
+  EXPECT_EQ(live_seen, 0);
+}
+
+TEST(Graph, CrossPeAllocationRoundRobin) {
+  Graph g(4);
+  std::vector<int> per_pe(4, 0);
+  for (int i = 0; i < 8; ++i) ++per_pe[g.alloc_rr(OpCode::kData).pe];
+  for (int c : per_pe) EXPECT_EQ(c, 2);
+}
+
+TEST(Graph, ConnectMaintainsRequestedBackEdge) {
+  Graph g(2);
+  const VertexId x = g.alloc(0, OpCode::kData);
+  const VertexId y = g.alloc(1, OpCode::kData);
+  connect(g, x, y, ReqKind::kVital);
+  ASSERT_EQ(g.at(x).args.size(), 1u);
+  EXPECT_EQ(g.at(x).args[0].to, y);
+  EXPECT_EQ(g.at(x).args[0].req, ReqKind::kVital);
+  EXPECT_TRUE(g.at(y).has_requester(x));
+}
+
+TEST(Graph, UnrequestedConnectAddsNoBackEdge) {
+  Graph g(1);
+  const VertexId x = g.alloc(0, OpCode::kData);
+  const VertexId y = g.alloc(0, OpCode::kData);
+  connect(g, x, y, ReqKind::kNone);
+  EXPECT_FALSE(g.at(y).has_requester(x));
+}
+
+TEST(Graph, DisconnectClearsBackEdge) {
+  Graph g(1);
+  const VertexId x = g.alloc(0, OpCode::kData);
+  const VertexId y = g.alloc(0, OpCode::kData);
+  connect(g, x, y, ReqKind::kEager);
+  disconnect(g, x, y);
+  EXPECT_TRUE(g.at(x).args.empty());
+  EXPECT_FALSE(g.at(y).has_requester(x));
+}
+
+TEST(Graph, SetRequestTransitions) {
+  Graph g(1);
+  const VertexId x = g.alloc(0, OpCode::kData);
+  const VertexId y = g.alloc(0, OpCode::kData);
+  connect(g, x, y, ReqKind::kNone);
+  set_request(g, x, y, ReqKind::kEager);
+  EXPECT_TRUE(g.at(y).has_requester(x));
+  set_request(g, x, y, ReqKind::kVital);  // upgrade keeps single back-edge
+  EXPECT_EQ(g.at(y).requested.size(), 1u);
+  set_request(g, x, y, ReqKind::kNone);
+  EXPECT_FALSE(g.at(y).has_requester(x));
+}
+
+TEST(Graph, ReplyRevertsEdgeToUnrequested) {
+  Graph g(1);
+  const VertexId x = g.alloc(0, OpCode::kData);
+  const VertexId y = g.alloc(0, OpCode::kData);
+  connect(g, x, y, ReqKind::kVital);
+  reply_to(g, y, x, Value::of_int(5));
+  EXPECT_FALSE(g.at(y).has_requester(x));
+  EXPECT_EQ(g.at(x).args[0].req, ReqKind::kNone);
+  EXPECT_EQ(g.at(x).args[0].value.as_int(), 5);
+}
+
+TEST(Graph, ReplyToExternalDemandIsSafe) {
+  Graph g(1);
+  const VertexId y = g.alloc(0, OpCode::kData);
+  g.at(y).requested.push_back(VertexId::invalid());
+  reply_to(g, y, VertexId::invalid(), Value::of_int(1));
+  EXPECT_TRUE(g.at(y).requested.empty());
+}
+
+TEST(Graph, SelfLoopSupported) {
+  Graph g(1);
+  const VertexId x = g.alloc(0, OpCode::kData);
+  connect(g, x, x, ReqKind::kVital);
+  EXPECT_EQ(g.at(x).args[0].to, x);
+  EXPECT_TRUE(g.at(x).has_requester(x));
+}
+
+TEST(VertexIdTest, PackUnpackRoundTrip) {
+  const VertexId v{3, 12345};
+  EXPECT_EQ(VertexId::unpack(v.pack()), v);
+  EXPECT_TRUE(VertexId::rootpar().is_rootpar());
+  EXPECT_FALSE(VertexId::invalid().valid());
+}
+
+TEST(Builder, ChainIsConnected) {
+  Graph g(4);
+  const auto chain = build_chain(g, 10, ReqKind::kVital);
+  ASSERT_EQ(chain.size(), 10u);
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    EXPECT_EQ(g.at(chain[i]).args.size(), 1u);
+    EXPECT_EQ(g.at(chain[i]).args[0].to, chain[i + 1]);
+  }
+}
+
+TEST(Builder, TreeHasExpectedSize) {
+  Graph g(2);
+  build_tree(g, 5, ReqKind::kNone);
+  EXPECT_EQ(g.total_live(), (1u << 6) - 1);  // 2^(d+1) - 1 vertices
+}
+
+TEST(Builder, RandomGraphDeterministicPerSeed) {
+  Graph g1(4), g2(4);
+  RandomGraphOptions opt;
+  opt.num_vertices = 200;
+  opt.seed = 77;
+  const BuiltGraph b1 = build_random_graph(g1, opt);
+  const BuiltGraph b2 = build_random_graph(g2, opt);
+  ASSERT_EQ(b1.vertices.size(), b2.vertices.size());
+  for (std::size_t i = 0; i < b1.vertices.size(); ++i) {
+    EXPECT_EQ(g1.at(b1.vertices[i]).args.size(),
+              g2.at(b2.vertices[i]).args.size());
+  }
+  ASSERT_EQ(b1.tasks.size(), b2.tasks.size());
+}
+
+TEST(Builder, AcyclicOptionProducesNoSelfLoop) {
+  Graph g(2);
+  RandomGraphOptions opt;
+  opt.cyclic = false;
+  opt.num_vertices = 100;
+  opt.seed = 5;
+  const BuiltGraph b = build_random_graph(g, opt);
+  for (VertexId v : b.vertices)
+    for (const ArgEdge& e : g.at(v).args) EXPECT_NE(e.to, v);
+}
+
+}  // namespace
+}  // namespace dgr

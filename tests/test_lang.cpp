@@ -1,0 +1,180 @@
+// Unit tests for the language front end: lexer/parser and template compiler.
+#include <gtest/gtest.h>
+
+#include "reduction/lang.h"
+#include "reduction/program.h"
+
+namespace dgr {
+namespace {
+
+using lang::ExprKind;
+using lang::parse_expression;
+using lang::parse_program;
+
+TEST(Parser, Precedence) {
+  auto e = parse_expression("1 + 2 * 3");
+  ASSERT_EQ(e->kind, ExprKind::kBin);
+  EXPECT_EQ(e->op, OpCode::kAdd);
+  EXPECT_EQ(e->kids[1]->op, OpCode::kMul);
+}
+
+TEST(Parser, Parentheses) {
+  auto e = parse_expression("(1 + 2) * 3");
+  EXPECT_EQ(e->op, OpCode::kMul);
+  EXPECT_EQ(e->kids[0]->op, OpCode::kAdd);
+}
+
+TEST(Parser, ComparisonDesugaring) {
+  // a > b becomes b < a.
+  auto e = parse_expression("1 > 2");
+  EXPECT_EQ(e->op, OpCode::kLt);
+  EXPECT_EQ(e->kids[0]->num, 2);
+  EXPECT_EQ(e->kids[1]->num, 1);
+  auto e2 = parse_expression("1 >= 2");
+  EXPECT_EQ(e2->op, OpCode::kLe);
+}
+
+TEST(Parser, UnaryMinus) {
+  auto e = parse_expression("-5");
+  EXPECT_EQ(e->op, OpCode::kSub);
+  EXPECT_EQ(e->kids[0]->num, 0);
+  EXPECT_EQ(e->kids[1]->num, 5);
+}
+
+TEST(Parser, IfThenElse) {
+  auto e = parse_expression("if true then 1 else 2");
+  ASSERT_EQ(e->kind, ExprKind::kIf);
+  EXPECT_EQ(e->kids[0]->kind, ExprKind::kBool);
+}
+
+TEST(Parser, LetIn) {
+  auto e = parse_expression("let x = 1 + 2 in x * x");
+  ASSERT_EQ(e->kind, ExprKind::kLet);
+  EXPECT_EQ(e->name, "x");
+}
+
+TEST(Parser, CallsAndArgs) {
+  auto e = parse_expression("f(1, g(2), 3)");
+  ASSERT_EQ(e->kind, ExprKind::kCall);
+  EXPECT_EQ(e->kids.size(), 3u);
+  EXPECT_EQ(e->kids[1]->kind, ExprKind::kCall);
+}
+
+TEST(Parser, BooleanOperators) {
+  auto e = parse_expression("true and false or not true");
+  EXPECT_EQ(e->op, OpCode::kOr);
+  EXPECT_EQ(e->kids[0]->op, OpCode::kAnd);
+  EXPECT_EQ(e->kids[1]->kind, ExprKind::kNot);
+}
+
+TEST(Parser, Comments) {
+  auto p = parse_program("# leading comment\ndef main() = 1; # trailing\n");
+  EXPECT_EQ(p.defs.size(), 1u);
+}
+
+TEST(Parser, ErrorsCarryPosition) {
+  try {
+    parse_program("def main() = (1 +;");
+    FAIL() << "expected ParseError";
+  } catch (const lang::ParseError& e) {
+    EXPECT_GE(e.col, 1u);
+  }
+}
+
+TEST(Parser, RoundTripToString) {
+  auto e = parse_expression("if x < 2 then x else f(x - 1) + f(x - 2)");
+  const std::string s = lang::to_string(*e);
+  EXPECT_NE(s.find("if"), std::string::npos);
+  EXPECT_NE(s.find("f("), std::string::npos);
+}
+
+TEST(Compile, FibTemplates) {
+  const Program p = Program::from_source(
+      "def fib(n) = if n < 2 then n else fib(n-1) + fib(n-2);"
+      "def main() = fib(10);");
+  EXPECT_EQ(p.num_fns(), 2u);
+  const Template& fib = p.fn(p.fn_id("fib"));
+  EXPECT_EQ(fib.nparams, 1u);
+  EXPECT_FALSE(fib.root.is_param);
+  EXPECT_EQ(fib.nodes[fib.root.idx].op, OpCode::kIf);
+}
+
+TEST(Compile, ParamRootBecomesParamRef) {
+  const Program p = Program::from_source("def id(x) = x; def main() = id(4);");
+  const Template& id = p.fn(p.fn_id("id"));
+  EXPECT_TRUE(id.root.is_param);
+  EXPECT_EQ(id.root.idx, 0u);
+  EXPECT_TRUE(id.nodes.empty());  // pruned
+}
+
+TEST(Compile, RecursiveLetMakesCycle) {
+  // let x = x + 1 in x : the Fig 3-1 graph — x's node references itself.
+  const Program p = Program::from_source("def main() = let x = x + 1 in x;");
+  const Template& m = p.fn(p.fn_id("main"));
+  ASSERT_FALSE(m.root.is_param);
+  const TNode& x = m.nodes[m.root.idx];
+  EXPECT_EQ(x.op, OpCode::kAdd);
+  ASSERT_EQ(x.children.size(), 2u);
+  EXPECT_FALSE(x.children[0].is_param);
+  EXPECT_EQ(x.children[0].idx, m.root.idx);  // self-edge
+}
+
+TEST(Compile, SharedLetProducesSharedNode) {
+  const Program p =
+      Program::from_source("def main() = let x = 3 * 3 in x + x;");
+  const Template& m = p.fn(p.fn_id("main"));
+  const TNode& add = m.nodes[m.root.idx];
+  EXPECT_EQ(add.children[0], add.children[1]);  // both edges to the same node
+}
+
+TEST(Compile, LetAliasOfVar) {
+  const Program p = Program::from_source(
+      "def f(a) = let b = a in b + 1; def main() = f(2);");
+  const Template& f = p.fn(p.fn_id("f"));
+  const TNode& add = f.nodes[f.root.idx];
+  EXPECT_TRUE(add.children[0].is_param);
+}
+
+TEST(Compile, NestedLetAliasResolved) {
+  const Program p = Program::from_source(
+      "def main() = let x = (let y = 5 in y) in x + x;");
+  const Template& m = p.fn(p.fn_id("main"));
+  const TNode& add = m.nodes[m.root.idx];
+  // x aliases y's literal node; both children point at it.
+  EXPECT_EQ(add.children[0], add.children[1]);
+}
+
+TEST(Compile, MutualRecursionAllowed) {
+  const Program p = Program::from_source(
+      "def even(n) = if n == 0 then true else odd(n - 1);"
+      "def odd(n) = if n == 0 then false else even(n - 1);"
+      "def main() = even(10);");
+  EXPECT_EQ(p.num_fns(), 3u);
+}
+
+TEST(Compile, Errors) {
+  EXPECT_THROW(Program::from_source("def main() = x;"), CompileError);
+  EXPECT_THROW(Program::from_source("def main() = f(1);"), CompileError);
+  EXPECT_THROW(
+      Program::from_source("def f(a) = a; def main() = f(1, 2);"),
+      CompileError);
+  EXPECT_THROW(
+      Program::from_source("def f() = 1; def f() = 2; def main() = f();"),
+      CompileError);
+  EXPECT_THROW(
+      Program::from_source("def f(a, a) = a; def main() = f(1, 2);"),
+      CompileError);
+}
+
+TEST(Compile, DeadNodesPruned) {
+  const Program p = Program::from_source(
+      "def main() = let unused = 1 + 2 in 7;");
+  const Template& m = p.fn(p.fn_id("main"));
+  // Only the literal 7 survives.
+  ASSERT_EQ(m.nodes.size(), 1u);
+  EXPECT_EQ(m.nodes[0].op, OpCode::kLit);
+  EXPECT_EQ(m.nodes[0].lit, 7);
+}
+
+}  // namespace
+}  // namespace dgr

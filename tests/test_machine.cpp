@@ -1,0 +1,316 @@
+// End-to-end reduction tests: programs evaluated on the distributed engine,
+// alone and concurrently with marking cycles (the paper's full system).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "reduction/machine.h"
+#include "runtime/sim_engine.h"
+
+namespace dgr {
+namespace {
+
+struct Rig {
+  Graph g;
+  SimEngine eng;
+  Machine machine;
+  VertexId root;
+
+  Rig(const std::string& src, std::uint32_t pes, std::uint64_t seed,
+      MachineOptions mopt = {}, SimOptions sopt_in = SimOptions{})
+      : g(pes),
+        eng(g, [&] {
+          SimOptions s = sopt_in;
+          s.seed = seed;
+          return s;
+        }()),
+        machine(g, eng.mutator(), eng, Program::from_source(src), mopt) {
+    root = machine.load_main();
+    eng.set_root(root);
+    eng.set_reducer([this](const Task& t) { machine.exec(t); });
+    machine.demand(root);
+  }
+
+  // Run to quiescence and return the root's value.
+  Value run() {
+    eng.run(50'000'000);
+    const auto r = machine.result_of(root);
+    DGR_CHECK_MSG(!machine.has_error(), machine.error().c_str());
+    DGR_CHECK_MSG(r.has_value(), "program did not produce a result");
+    return *r;
+  }
+};
+
+TEST(Machine, LiteralMain) {
+  Rig r("def main() = 42;", 1, 1);
+  EXPECT_EQ(r.run().as_int(), 42);
+}
+
+TEST(Machine, Arithmetic) {
+  Rig r("def main() = (3 + 4) * 5 - 6 / 2;", 2, 1);
+  EXPECT_EQ(r.run().as_int(), 32);
+}
+
+TEST(Machine, BooleansAndComparisons) {
+  Rig r("def main() = if 3 < 4 and not (2 == 3) then 10 % 3 else 0 - 1;", 2,
+        2);
+  EXPECT_EQ(r.run().as_int(), 1);
+}
+
+TEST(Machine, IdentityFunction) {
+  Rig r("def id(x) = x; def main() = id(id(7));", 2, 3);
+  EXPECT_EQ(r.run().as_int(), 7);
+}
+
+TEST(Machine, LetSharingEvaluatesOnce) {
+  Rig r("def f(n) = n * n; def main() = let x = f(7) in x + x;", 4, 4);
+  EXPECT_EQ(r.run().as_int(), 98);
+  // main + exactly one instantiation of f: sharing prevented re-evaluation.
+  EXPECT_EQ(r.machine.stats().instantiations, 2u);
+}
+
+TEST(Machine, LazyBranchNotEvaluated) {
+  // boom() never terminates; without speculation the untaken branch is
+  // never demanded, so evaluation quiesces with the right answer.
+  Rig r("def boom() = boom(); def main() = if 1 < 2 then 5 else boom();", 2,
+        5);
+  EXPECT_EQ(r.run().as_int(), 5);
+}
+
+TEST(Machine, MutualRecursion) {
+  Rig r(
+      "def even(n) = if n == 0 then true else odd(n - 1);"
+      "def odd(n) = if n == 0 then false else even(n - 1);"
+      "def main() = even(20);",
+      4, 6);
+  EXPECT_TRUE(r.run().as_bool());
+}
+
+TEST(Machine, DivisionByZeroReported) {
+  Rig r("def main() = 1 / (2 - 2);", 1, 7);
+  r.eng.run(1'000'000);
+  EXPECT_TRUE(r.machine.has_error());
+}
+
+TEST(Machine, TypeErrorReported) {
+  Rig r("def main() = 1 + (2 < 3);", 1, 8);
+  r.eng.run(1'000'000);
+  EXPECT_TRUE(r.machine.has_error());
+}
+
+TEST(Machine, Ackermann) {
+  Rig r(
+      "def ack(m, n) = if m == 0 then n + 1"
+      "  else if n == 0 then ack(m - 1, 1)"
+      "  else ack(m - 1, ack(m, n - 1));"
+      "def main() = ack(2, 3);",
+      4, 9);
+  EXPECT_EQ(r.run().as_int(), 9);
+}
+
+TEST(Machine, PrimeCountByTrialDivision) {
+  Rig r(
+      "def has_div(n, d) = if d * d > n then false"
+      "  else if n % d == 0 then true else has_div(n, d + 1);"
+      "def is_prime(n) = if n < 2 then false else not has_div(n, 2);"
+      "def count(n) = if n == 0 then 0"
+      "  else (if is_prime(n) then 1 else 0) + count(n - 1);"
+      "def main() = count(30);",
+      4, 10);
+  EXPECT_EQ(r.run().as_int(), 10);  // primes ≤ 30
+}
+
+// fib across PE counts and seeds: the same answer regardless of scheduling
+// and partitioning (determinism of the computed value, not the schedule).
+class FibTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {
+};
+
+TEST_P(FibTest, CorrectOnAnyScheduleAndPartitioning) {
+  const auto [pes, seed] = GetParam();
+  Rig r(
+      "def fib(n) = if n < 2 then n else fib(n - 1) + fib(n - 2);"
+      "def main() = fib(13);",
+      pes, seed);
+  EXPECT_EQ(r.run().as_int(), 233);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FibTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+// ---- Reduction concurrent with endless marking cycles (E9/E11). ----
+
+class ConcurrentGcTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConcurrentGcTest, FibCorrectUnderContinuousCollection) {
+  SimOptions sopt;
+  sopt.check_invariants = true;
+  sopt.invariant_period = 257;
+  Rig r(
+      "def fib(n) = if n < 2 then n else fib(n - 1) + fib(n - 2);"
+      "def main() = fib(12);",
+      4, GetParam(), MachineOptions{}, sopt);
+  // A healthy computation must never be reported deadlocked, no matter when
+  // the M_T/M_R cycle lands relative to the reduction (Theorem 2 safety).
+  std::uint64_t valid_reports = 0;
+  r.eng.controller().set_cycle_observer([&](const CycleResult& c) {
+    if (c.deadlock_report_valid) {
+      ++valid_reports;
+      EXPECT_TRUE(c.deadlocked.empty())
+          << "false deadlock report in cycle " << c.cycle;
+    }
+  });
+  r.eng.controller().set_continuous(true);
+  r.eng.controller().start_cycle();
+  // Run: reduction and marking interleave arbitrarily. Stop continuous mode
+  // once the result is in, then drain.
+  while (!r.machine.result_of(r.root).has_value()) {
+    ASSERT_TRUE(r.eng.step()) << "wedged before producing a result";
+  }
+  r.eng.controller().set_continuous(false);
+  r.eng.run(50'000'000);
+  ASSERT_FALSE(r.machine.has_error()) << r.machine.error();
+  EXPECT_EQ(r.machine.result_of(r.root)->as_int(), 144);
+  // The collector actually reclaimed consumed subgraphs during the run.
+  EXPECT_GT(r.eng.controller().total_swept(), 100u);
+  // One final cycle leaves only the root (and aux) vertices live.
+  r.eng.controller().start_cycle();
+  r.eng.run_until_cycle_done(10'000'000);
+  r.eng.controller().start_cycle();
+  r.eng.run_until_cycle_done(10'000'000);
+  EXPECT_LE(r.g.total_live(), 2u + r.g.num_pes() + 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConcurrentGcTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ---- Speculation: eager → vital/irrelevant dynamics (E2, E7, E13). ----
+
+TEST(Speculation, EagerBranchUsedWhenTaken) {
+  MachineOptions mopt;
+  mopt.speculate_if = true;
+  Rig r("def f(n) = n * 3; def main() = if 1 < 2 then f(4) else f(5);", 2, 11,
+        mopt);
+  EXPECT_EQ(r.run().as_int(), 12);
+  EXPECT_GT(r.machine.stats().speculative_requests, 0u);
+}
+
+TEST(Speculation, RunawayIrrelevantTasksExpunged) {
+  // The untaken branch diverges: speculation floods the system with eager
+  // tasks that become irrelevant once the predicate resolves (§3.2 item 3).
+  // The restructuring phase must expunge them and reclaim their vertices.
+  MachineOptions mopt;
+  mopt.speculate_if = true;
+  Rig r("def boom(n) = boom(n + 1);"
+        "def main() = if 1 < 2 then 99 else boom(0);",
+        4, 12, mopt);
+  // Let the runaway develop: run until the result is known and a speculative
+  // storm is pending.
+  while (!r.machine.result_of(r.root).has_value()) {
+    ASSERT_TRUE(r.eng.step());
+  }
+  for (int i = 0; i < 2000; ++i) r.eng.step();  // let boom() multiply
+  EXPECT_GT(r.eng.pending_reduction(), 0u) << "runaway did not develop";
+
+  // One marking cycle classifies every boom task irrelevant and deletes it.
+  r.eng.controller().start_cycle();
+  r.eng.run_until_cycle_done(50'000'000);
+  EXPECT_GT(r.eng.controller().last().expunged, 0u);
+  EXPECT_GT(r.eng.controller().last().swept, 0u);
+  // The system drains completely: the infinite computation is gone.
+  r.eng.run(50'000'000);
+  EXPECT_TRUE(r.eng.quiescent());
+  EXPECT_EQ(r.machine.result_of(r.root)->as_int(), 99);
+}
+
+// ---- Deadlock detection on a real program (E1/E6 dynamic). ----
+
+TEST(DeadlockDynamic, SelfDependentLetDetected) {
+  // def main() = let x = x + 1 in x — the paper's Figure 3-1, produced by an
+  // actual program. Evaluation wedges; the M_T-then-M_R cycle reports it.
+  Rig r("def main() = let x = x + 1 in x;", 2, 13);
+  r.eng.run(1'000'000);
+  EXPECT_TRUE(r.eng.quiescent());
+  EXPECT_FALSE(r.machine.result_of(r.root).has_value());
+
+  CycleOptions copt;
+  copt.detect_deadlock = true;
+  r.eng.controller().start_cycle(copt);
+  r.eng.run_until_cycle_done(1'000'000);
+  const CycleResult& res = r.eng.controller().last();
+  ASSERT_TRUE(res.deadlock_report_valid);
+  ASSERT_EQ(res.deadlocked.size(), 1u);
+  EXPECT_EQ(res.deadlocked[0], r.root);
+}
+
+TEST(DeadlockDynamic, HealthyProgramReportsNone) {
+  Rig r("def fib(n) = if n < 2 then n else fib(n-1) + fib(n-2);"
+        "def main() = fib(10);",
+        4, 14);
+  r.run();
+  CycleOptions copt;
+  copt.detect_deadlock = true;
+  r.eng.controller().start_cycle(copt);
+  r.eng.run_until_cycle_done(1'000'000);
+  ASSERT_TRUE(r.eng.controller().last().deadlock_report_valid);
+  EXPECT_TRUE(r.eng.controller().last().deadlocked.empty());
+}
+
+TEST(DeadlockDynamic, PartialDeadlockInLiveComputation) {
+  // One strand deadlocks, the other would complete if the deadlocked value
+  // weren't demanded: main = (let x = x+1 in x) + fib(5). After quiescence
+  // the adder and x are deadlocked; fib's side completed.
+  Rig r("def fib(n) = if n < 2 then n else fib(n-1) + fib(n-2);"
+        "def main() = (let x = x + 1 in x) + fib(5);",
+        2, 15);
+  r.eng.run(10'000'000);
+  EXPECT_TRUE(r.eng.quiescent());
+  EXPECT_FALSE(r.machine.result_of(r.root).has_value());
+  CycleOptions copt;
+  copt.detect_deadlock = true;
+  r.eng.controller().start_cycle(copt);
+  r.eng.run_until_cycle_done(10'000'000);
+  const CycleResult& res = r.eng.controller().last();
+  ASSERT_TRUE(res.deadlock_report_valid);
+  // Both the root adder and x await values that can never come.
+  EXPECT_GE(res.deadlocked.size(), 2u);
+}
+
+// ---- Memory-bounded execution: exhaustion triggers collection (E9). ----
+
+TEST(Exhaustion, GcOnDemandLetsProgramFinish) {
+  // Finite local stores: allocation failures must be resolved by collection,
+  // as on a real machine.
+  Graph g2(4, 600);
+  for (PeId pe = 0; pe < 4; ++pe) g2.store(pe).set_fixed_capacity(true);
+  SimOptions sopt;
+  sopt.seed = 16;
+  SimEngine eng(g2, sopt);
+  Machine machine(
+      g2, eng.mutator(), eng,
+      Program::from_source("def fib(n) = if n < 2 then n else fib(n-1) + "
+                           "fib(n-2); def main() = fib(11);"));
+  const VertexId root = machine.load_main();
+  eng.set_root(root);
+  eng.set_reducer([&](const Task& t) { machine.exec(t); });
+  machine.set_exhaustion_handler([&] {
+    if (eng.controller().idle()) {
+      CycleOptions c;
+      c.detect_deadlock = false;
+      eng.controller().start_cycle(c);
+    }
+  });
+  machine.demand(root);
+  eng.run(100'000'000);
+  ASSERT_FALSE(machine.has_error()) << machine.error();
+  ASSERT_TRUE(machine.result_of(root).has_value())
+      << "alloc failures: " << machine.stats().alloc_failures;
+  EXPECT_EQ(machine.result_of(root)->as_int(), 89);
+  EXPECT_GT(machine.stats().alloc_failures, 0u);
+  EXPECT_GT(eng.controller().total_swept(), 0u);
+}
+
+}  // namespace
+}  // namespace dgr

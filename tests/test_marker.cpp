@@ -1,0 +1,214 @@
+// Tests for the decentralized marking algorithm against the oracle:
+// mark1/return1 mechanics, mark2 priorities, mark3 task marking, termination
+// detection, and full controller cycles on static graphs.
+#include <gtest/gtest.h>
+
+#include "core/invariants.h"
+#include "graph/builder.h"
+#include "graph/oracle.h"
+#include "runtime/sim_engine.h"
+
+namespace dgr {
+namespace {
+
+// Runs one full marking cycle (optionally with M_T) on a static graph and
+// returns the engine for inspection.
+std::unique_ptr<SimEngine> run_cycle(Graph& g, VertexId root,
+                                     const std::vector<TaskRef>& tasks,
+                                     bool detect_deadlock, std::uint64_t seed) {
+  SimOptions opt;
+  opt.seed = seed;
+  opt.check_invariants = true;
+  opt.invariant_period = 16;
+  auto eng = std::make_unique<SimEngine>(g, opt);
+  eng->set_root(root);
+  // Seed the pools with inert reduction tasks (static workload).
+  for (const TaskRef& t : tasks)
+    eng->spawn(Task::request(t.s, t.d, ReqKind::kVital));
+  CycleOptions copt;
+  copt.detect_deadlock = detect_deadlock;
+  eng->controller().start_cycle(copt);
+  eng->run_until_cycle_done(5'000'000);
+  return eng;
+}
+
+TEST(Marker, SingleVertexGraph) {
+  Graph g(1);
+  const VertexId root = g.alloc(0, OpCode::kData);
+  auto eng = run_cycle(g, root, {}, false, 1);
+  EXPECT_TRUE(eng->marker().is_marked(Plane::kR, root));
+  EXPECT_EQ(eng->marker().prior(Plane::kR, root), 3);
+  EXPECT_EQ(eng->controller().last().swept, 0u);
+}
+
+TEST(Marker, ChainAcrossPesFullyMarked) {
+  Graph g(4);
+  const auto chain = build_chain(g, 64, ReqKind::kVital);
+  auto eng = run_cycle(g, chain.front(), {}, false, 2);
+  for (VertexId v : chain) {
+    EXPECT_TRUE(eng->marker().is_marked(Plane::kR, v));
+    EXPECT_EQ(eng->marker().prior(Plane::kR, v), 3);
+  }
+}
+
+TEST(Marker, SharedSubexpressionMarkedOnce) {
+  // Diamond: both parents point at the same child; child marked, exactly one
+  // parent is its marking-tree parent, and marking terminates.
+  Graph g(2);
+  const VertexId root = g.alloc(0, OpCode::kData);
+  const VertexId l = g.alloc(0, OpCode::kData);
+  const VertexId r = g.alloc(1, OpCode::kData);
+  const VertexId shared = g.alloc(1, OpCode::kData);
+  connect(g, root, l, ReqKind::kVital);
+  connect(g, root, r, ReqKind::kVital);
+  connect(g, l, shared, ReqKind::kVital);
+  connect(g, r, shared, ReqKind::kVital);
+  auto eng = run_cycle(g, root, {}, false, 3);
+  EXPECT_TRUE(eng->marker().is_marked(Plane::kR, shared));
+  const VertexId par = g.at(shared).plane(Plane::kR).mt_par;
+  EXPECT_TRUE(par == l || par == r);
+}
+
+TEST(Marker, CycleInGraphTerminates) {
+  Graph g(2);
+  const VertexId root = g.alloc(0, OpCode::kData);
+  const VertexId a = g.alloc(0, OpCode::kData);
+  const VertexId b = g.alloc(1, OpCode::kData);
+  connect(g, root, a, ReqKind::kVital);
+  connect(g, a, b, ReqKind::kVital);
+  connect(g, b, a, ReqKind::kVital);  // cycle
+  connect(g, b, root, ReqKind::kVital);  // back to root
+  auto eng = run_cycle(g, root, {}, false, 4);
+  EXPECT_TRUE(eng->marker().is_marked(Plane::kR, a));
+  EXPECT_TRUE(eng->marker().is_marked(Plane::kR, b));
+}
+
+TEST(Marker, SelfLoopTerminates) {
+  Graph g(1);
+  const VertexId root = g.alloc(0, OpCode::kData);
+  connect(g, root, root, ReqKind::kVital);
+  auto eng = run_cycle(g, root, {}, false, 5);
+  EXPECT_TRUE(eng->marker().is_marked(Plane::kR, root));
+}
+
+TEST(Marker, GarbageSweptGarbageOnly) {
+  Graph g(2);
+  const VertexId root = g.alloc(0, OpCode::kData);
+  const VertexId live = g.alloc(1, OpCode::kData);
+  const VertexId dead1 = g.alloc(0, OpCode::kData);
+  const VertexId dead2 = g.alloc(1, OpCode::kData);
+  connect(g, root, live, ReqKind::kVital);
+  connect(g, dead1, dead2, ReqKind::kVital);  // detached pair
+  connect(g, dead2, dead1, ReqKind::kVital);  // ... and cyclic
+  auto eng = run_cycle(g, root, {}, false, 6);
+  EXPECT_EQ(eng->controller().last().swept, 2u);
+  EXPECT_TRUE(g.is_free(dead1));
+  EXPECT_TRUE(g.is_free(dead2));
+  EXPECT_FALSE(g.is_free(live));
+}
+
+TEST(Marker, PrioritiesMatchOracleOnFig32) {
+  Graph g(4);
+  const TaskTypeScenario sc = build_task_type_scenario(g);
+  auto eng = run_cycle(g, sc.root, {}, false, 7);
+  Oracle o(g, sc.root, {});
+  // abc and b were swept; the rest carry oracle priorities.
+  for (VertexId v : {sc.root, sc.p, sc.a_plus_1, sc.a, sc.c, sc.d}) {
+    EXPECT_TRUE(eng->marker().is_marked(Plane::kR, v));
+    EXPECT_EQ(eng->marker().prior(Plane::kR, v), o.prior_at(v));
+  }
+  EXPECT_TRUE(g.is_free(sc.abc));
+  EXPECT_TRUE(g.is_free(sc.b));
+}
+
+// mark2's re-marking: regardless of scheduling order, the final priority is
+// the max-min over paths. Sweep across seeds so both "vital first" and
+// "eager first" orders occur.
+class Mark2PriorityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Mark2PriorityTest, UpgradeConvergesToOracle) {
+  Graph g(4);
+  // root -e-> a -v-> c ; root -v-> b -v-> c ; c -v-> tail chain.
+  const VertexId root = g.alloc(0, OpCode::kData);
+  const VertexId a = g.alloc(1, OpCode::kData);
+  const VertexId b = g.alloc(2, OpCode::kData);
+  const VertexId c = g.alloc(3, OpCode::kData);
+  connect(g, root, a, ReqKind::kEager);
+  connect(g, root, b, ReqKind::kVital);
+  connect(g, a, c, ReqKind::kVital);
+  connect(g, b, c, ReqKind::kVital);
+  VertexId prev = c;
+  std::vector<VertexId> tail;
+  for (int i = 0; i < 8; ++i) {
+    const VertexId t = g.alloc_rr(OpCode::kData);
+    connect(g, prev, t, ReqKind::kVital);
+    tail.push_back(t);
+    prev = t;
+  }
+  auto eng = run_cycle(g, root, {}, false, GetParam());
+  Oracle o(g, root, {});
+  EXPECT_EQ(eng->marker().prior(Plane::kR, a), 2);
+  EXPECT_EQ(eng->marker().prior(Plane::kR, c), 3);  // vital path wins
+  for (VertexId t : tail)
+    EXPECT_EQ(eng->marker().prior(Plane::kR, t), o.prior_at(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Mark2PriorityTest,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+// Full-random-graph agreement with the oracle (E3/E5 static part),
+// parameterized over seeds.
+class MarkerOracleAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MarkerOracleAgreement, MarkedSetsEqualOracleSets) {
+  Graph g(8);
+  RandomGraphOptions opt;
+  opt.num_vertices = 400;
+  opt.avg_out_degree = 2.5;
+  opt.seed = GetParam();
+  const BuiltGraph b = build_random_graph(g, opt);
+  // Oracle snapshot BEFORE marking (static graph, so it stays valid).
+  Oracle o(g, b.root, b.tasks);
+  const std::size_t expected_garbage = o.count_GAR();
+
+  auto eng = run_cycle(g, b.root, b.tasks, true, GetParam() * 1000 + 17);
+
+  // Theorem 1 on a static graph: GAR' == GAR.
+  EXPECT_EQ(eng->controller().last().swept, expected_garbage);
+
+  // R' == R with exact priorities; T' == T.
+  for (VertexId v : b.vertices) {
+    if (g.is_free(v)) continue;
+    EXPECT_EQ(eng->marker().is_marked(Plane::kR, v), o.in_R(v));
+    EXPECT_EQ(eng->marker().prior(Plane::kR, v), o.prior_at(v));
+    EXPECT_EQ(eng->marker().is_marked(Plane::kT, v), o.in_T(v));
+  }
+
+  // Theorem 2 on a static graph: DL'_v == DL_v.
+  ASSERT_TRUE(eng->controller().last().deadlock_report_valid);
+  std::vector<VertexId> expected_dl = o.members_DLv();
+  std::vector<VertexId> got_dl = eng->controller().last().deadlocked;
+  std::sort(expected_dl.begin(), expected_dl.end());
+  std::sort(got_dl.begin(), got_dl.end());
+  EXPECT_EQ(got_dl, expected_dl);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MarkerOracleAgreement,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+TEST(MarkerCost, MarkTasksLinearInEdges) {
+  // E14: one mark task per edge plus one per root — the paper's O(E) cost.
+  Graph g(4);
+  const VertexId root = build_tree(g, 10, ReqKind::kVital);  // 2047 vertices
+  auto eng = run_cycle(g, root, {}, false, 11);
+  const MarkStats& st = eng->controller().last().stats_r;
+  // 1 initial mark on the root + exactly one mark task per edge = |V| for a
+  // tree; and one return per mark task.
+  EXPECT_EQ(st.marks, 2047u);
+  // Every non-root vertex's completion sends one return to its tree parent;
+  // the root's final return short-circuits to the done flag.
+  EXPECT_EQ(st.returns, 2046u);
+}
+
+}  // namespace
+}  // namespace dgr

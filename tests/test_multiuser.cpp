@@ -1,0 +1,122 @@
+// Multi-user operation (§3.1 footnote 5): several independent computations
+// share the PEs, the stores and the collector. Each user's root is a
+// marking root; garbage and deadlock are managed per-region without one
+// user's fate affecting another's.
+#include <gtest/gtest.h>
+
+#include "reduction/machine.h"
+#include "runtime/sim_engine.h"
+
+namespace dgr {
+namespace {
+
+struct MultiRig {
+  Graph g{4};
+  SimEngine eng;
+  Machine machine;
+  std::vector<VertexId> roots;
+
+  explicit MultiRig(const std::string& src, std::uint64_t seed = 1)
+      : eng(g, [&] {
+          SimOptions s;
+          s.seed = seed;
+          return s;
+        }()),
+        machine(g, eng.mutator(), eng, Program::from_source(src)) {}
+
+  VertexId add_user(const std::string& fn, PeId pe) {
+    const VertexId r = machine.load_main(pe, fn);
+    roots.push_back(r);
+    eng.controller().set_roots(roots);
+    eng.set_reducer([this](const Task& t) { machine.exec(t); });
+    machine.demand(r);
+    return r;
+  }
+};
+
+TEST(MultiUser, IndependentResults) {
+  MultiRig rig(
+      "def fib(n) = if n < 2 then n else fib(n-1) + fib(n-2);"
+      "def user_a() = fib(10);"
+      "def user_b() = 6 * 7;"
+      "def user_c() = fib(8) + 1;");
+  const VertexId a = rig.add_user("user_a", 0);
+  const VertexId b = rig.add_user("user_b", 1);
+  const VertexId c = rig.add_user("user_c", 2);
+  rig.eng.run(50'000'000);
+  ASSERT_FALSE(rig.machine.has_error());
+  EXPECT_EQ(rig.machine.result_of(a)->as_int(), 55);
+  EXPECT_EQ(rig.machine.result_of(b)->as_int(), 42);
+  EXPECT_EQ(rig.machine.result_of(c)->as_int(), 22);
+}
+
+TEST(MultiUser, SharedCollectorSweepsAllRegions) {
+  MultiRig rig(
+      "def fib(n) = if n < 2 then n else fib(n-1) + fib(n-2);"
+      "def user_a() = fib(9);"
+      "def user_b() = fib(9);");
+  const VertexId a = rig.add_user("user_a", 0);
+  const VertexId b = rig.add_user("user_b", 1);
+  rig.eng.run(50'000'000);
+  ASSERT_TRUE(rig.machine.result_of(a) && rig.machine.result_of(b));
+  // One cycle sweeps both users' consumed subgraphs; both roots survive.
+  rig.eng.controller().start_cycle(CycleOptions{false});
+  rig.eng.run_until_cycle_done(10'000'000);
+  EXPECT_GT(rig.eng.controller().last().swept, 0u);
+  EXPECT_FALSE(rig.g.is_free(a));
+  EXPECT_FALSE(rig.g.is_free(b));
+  // A second cycle: every non-aux survivor is a user root.
+  rig.eng.controller().start_cycle(CycleOptions{false});
+  rig.eng.run_until_cycle_done(10'000'000);
+  std::size_t non_aux = 0;
+  rig.g.for_each_live([&](VertexId) { ++non_aux; });
+  EXPECT_EQ(non_aux, 2u);
+}
+
+TEST(MultiUser, OneUsersDeadlockDoesNotStopAnother) {
+  // "one would not expect the entire system to deadlock just because one
+  // user's program has deadlocked!" (§3.1, footnote 5)
+  MultiRig rig(
+      "def fib(n) = if n < 2 then n else fib(n-1) + fib(n-2);"
+      "def wedged() = let x = x + 1 in x;"
+      "def healthy() = fib(11);");
+  const VertexId bad = rig.add_user("wedged", 0);
+  const VertexId good = rig.add_user("healthy", 1);
+  rig.eng.run(50'000'000);
+  // The healthy user finished; the wedged one did not.
+  EXPECT_TRUE(rig.machine.result_of(good).has_value());
+  EXPECT_EQ(rig.machine.result_of(good)->as_int(), 89);
+  EXPECT_FALSE(rig.machine.result_of(bad).has_value());
+  // Deadlock detection pinpoints the wedged user's knot only.
+  rig.eng.controller().start_cycle(CycleOptions{true});
+  rig.eng.run_until_cycle_done(10'000'000);
+  const CycleResult& res = rig.eng.controller().last();
+  ASSERT_TRUE(res.deadlock_report_valid);
+  ASSERT_EQ(res.deadlocked.size(), 1u);
+  EXPECT_EQ(res.deadlocked[0], bad);
+}
+
+TEST(MultiUser, CompletedUserRegionIsCollectable) {
+  // Once user A's answer is delivered and its root dropped from the root
+  // set, A's entire region becomes garbage — while B keeps running.
+  MultiRig rig(
+      "def from(n) = cons(n, from(n + 1));"
+      "def take_sum(k, xs) = if k == 0 then 0"
+      "  else head(xs) + take_sum(k - 1, tail(xs));"
+      "def user_a() = 1 + 2;"
+      "def user_b() = take_sum(20, from(1));");
+  const VertexId a = rig.add_user("user_a", 0);
+  const VertexId b = rig.add_user("user_b", 1);
+  rig.eng.run(50'000'000);
+  ASSERT_TRUE(rig.machine.result_of(a) && rig.machine.result_of(b));
+  // Retire user A.
+  rig.roots.erase(rig.roots.begin());
+  rig.eng.controller().set_roots(rig.roots);
+  rig.eng.controller().start_cycle(CycleOptions{false});
+  rig.eng.run_until_cycle_done(10'000'000);
+  EXPECT_TRUE(rig.g.is_free(a));
+  EXPECT_FALSE(rig.g.is_free(b));
+}
+
+}  // namespace
+}  // namespace dgr

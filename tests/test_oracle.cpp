@@ -1,0 +1,219 @@
+// Tests for the sequential reachability oracle: Properties 1-6 (§3) on the
+// paper's own figures and on structured graphs.
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/oracle.h"
+
+namespace dgr {
+namespace {
+
+TEST(Oracle, EmptyGraphSingleRoot) {
+  Graph g(1);
+  const VertexId root = g.alloc(0, OpCode::kData);
+  Oracle o(g, root, {});
+  EXPECT_TRUE(o.in_R(root));
+  EXPECT_TRUE(o.in_Rv(root));  // root is priority 3 by definition (§5.1)
+  EXPECT_EQ(o.count_R(), 1u);
+  EXPECT_EQ(o.count_GAR(), 0u);
+}
+
+TEST(Oracle, PriorityIsMaxMinOverPaths) {
+  // root -v-> a -e-> b -v-> c : c's best path bottleneck is eager → prior 2.
+  Graph g(1);
+  const VertexId root = g.alloc(0, OpCode::kData);
+  const VertexId a = g.alloc(0, OpCode::kData);
+  const VertexId b = g.alloc(0, OpCode::kData);
+  const VertexId c = g.alloc(0, OpCode::kData);
+  connect(g, root, a, ReqKind::kVital);
+  connect(g, a, b, ReqKind::kEager);
+  connect(g, b, c, ReqKind::kVital);
+  Oracle o(g, root, {});
+  EXPECT_EQ(o.prior_at(root), 3);
+  EXPECT_EQ(o.prior_at(a), 3);
+  EXPECT_EQ(o.prior_at(b), 2);
+  EXPECT_EQ(o.prior_at(c), 2);  // vital edge below an eager bottleneck
+}
+
+TEST(Oracle, HigherPriorityPathWins) {
+  // Two paths to c: all-vital and via-eager → c is vital (prior 3).
+  Graph g(1);
+  const VertexId root = g.alloc(0, OpCode::kData);
+  const VertexId a = g.alloc(0, OpCode::kData);
+  const VertexId b = g.alloc(0, OpCode::kData);
+  const VertexId c = g.alloc(0, OpCode::kData);
+  connect(g, root, a, ReqKind::kVital);
+  connect(g, root, b, ReqKind::kEager);
+  connect(g, a, c, ReqKind::kVital);
+  connect(g, b, c, ReqKind::kVital);
+  Oracle o(g, root, {});
+  EXPECT_EQ(o.prior_at(c), 3);
+  EXPECT_TRUE(o.in_Rv(c));
+  EXPECT_FALSE(o.in_Re(c));
+}
+
+TEST(Oracle, UnrequestedEdgeGivesReservePriority) {
+  Graph g(1);
+  const VertexId root = g.alloc(0, OpCode::kData);
+  const VertexId a = g.alloc(0, OpCode::kData);
+  connect(g, root, a, ReqKind::kNone);
+  Oracle o(g, root, {});
+  EXPECT_TRUE(o.in_Rr(a));
+  EXPECT_EQ(o.prior_at(a), 1);
+}
+
+TEST(Oracle, GarbageIsUnreachable) {
+  Graph g(2);
+  const VertexId root = g.alloc(0, OpCode::kData);
+  const VertexId a = g.alloc(0, OpCode::kData);
+  const VertexId orphan = g.alloc(1, OpCode::kData);
+  connect(g, root, a, ReqKind::kVital);
+  Oracle o(g, root, {});
+  EXPECT_TRUE(o.in_GAR(orphan));
+  EXPECT_FALSE(o.in_GAR(a));
+  EXPECT_EQ(o.count_GAR(), 1u);
+}
+
+TEST(Oracle, CyclicGarbageDetected) {
+  // A detached 3-cycle: reference counting would never reclaim it;
+  // reachability does (the paper's §4 argument against refcounting).
+  Graph g(1);
+  const VertexId root = g.alloc(0, OpCode::kData);
+  const VertexId a = g.alloc(0, OpCode::kData);
+  const VertexId b = g.alloc(0, OpCode::kData);
+  const VertexId c = g.alloc(0, OpCode::kData);
+  connect(g, a, b, ReqKind::kVital);
+  connect(g, b, c, ReqKind::kVital);
+  connect(g, c, a, ReqKind::kVital);
+  Oracle o(g, root, {});
+  EXPECT_TRUE(o.in_GAR(a));
+  EXPECT_TRUE(o.in_GAR(b));
+  EXPECT_TRUE(o.in_GAR(c));
+}
+
+TEST(Oracle, TaskReachabilityFollowsRequestedAndUnrequestedArgs) {
+  Graph g(1);
+  const VertexId root = g.alloc(0, OpCode::kData);
+  const VertexId a = g.alloc(0, OpCode::kData);
+  const VertexId b = g.alloc(0, OpCode::kData);
+  const VertexId c = g.alloc(0, OpCode::kData);
+  // a vitally requested b (so b ∈ requested-closure seeds only via task);
+  // a has an unrequested arg c.
+  connect(g, root, a, ReqKind::kVital);
+  connect(g, a, b, ReqKind::kVital);
+  connect(g, a, c, ReqKind::kNone);
+  // A task exists at a.
+  Oracle o(g, root, {TaskRef{root, a}});
+  EXPECT_TRUE(o.in_T(root));  // s of the task
+  EXPECT_TRUE(o.in_T(a));     // d of the task
+  EXPECT_TRUE(o.in_T(c));     // via args(a) − req-args(a)
+  // b is NOT ↦-reachable from a: the vital request edge is not a T-edge,
+  // and requested(b) = {a} points back at a, not onward.
+  EXPECT_FALSE(o.in_T(b));
+}
+
+TEST(Oracle, RequestedBackEdgeTraced) {
+  Graph g(1);
+  const VertexId x = g.alloc(0, OpCode::kData);
+  const VertexId y = g.alloc(0, OpCode::kData);
+  connect(g, x, y, ReqKind::kVital);  // x requested y ⇒ x ∈ requested-set of y
+  // Task at y: y ↦ x via requested(y).
+  Oracle o(g, x, {TaskRef{VertexId::invalid(), y}});
+  EXPECT_TRUE(o.in_T(y));
+  EXPECT_TRUE(o.in_T(x));
+}
+
+// ---- The paper's Figure 3-1 (deadlock). ----
+
+TEST(Fig31Deadlock, SelfDependentVertexIsDLv) {
+  Graph g(2);
+  const DeadlockScenario sc = build_deadlock_scenario(g);
+  Oracle o(g, sc.root, sc.tasks);
+  // x ∈ R_v (root vitally awaits it) but no task can ever reach it.
+  EXPECT_TRUE(o.in_Rv(sc.x));
+  EXPECT_FALSE(o.in_T(sc.x));
+  EXPECT_TRUE(o.in_DLv(sc.x));
+  // root and busy are task-reachable, hence not deadlocked.
+  EXPECT_FALSE(o.in_DLv(sc.root));
+  EXPECT_FALSE(o.in_DLv(sc.busy));
+  EXPECT_EQ(o.count_DLv(), 1u);
+}
+
+TEST(Fig31Deadlock, WithoutTasksWholeVitalRegionDeadlocks) {
+  // §3.1: deadlock = task activity ceased while the root still awaits the
+  // value. With no tasks at all, everything vital is deadlocked.
+  Graph g(1);
+  const VertexId root = g.alloc(0, OpCode::kData);
+  const VertexId x = g.alloc(0, OpCode::kData);
+  connect(g, root, x, ReqKind::kVital);
+  connect(g, x, x, ReqKind::kVital);
+  Oracle o(g, root, {});
+  EXPECT_TRUE(o.in_DLv(root));
+  EXPECT_TRUE(o.in_DLv(x));
+}
+
+// ---- The paper's Figure 3-2 (task types). ----
+
+TEST(Fig32TaskTypes, AllFourTypesClassified) {
+  Graph g(4);
+  const TaskTypeScenario sc = build_task_type_scenario(g);
+  Oracle o(g, sc.root, sc.tasks);
+
+  // Vertex memberships (the Venn diagram of Fig 3-3).
+  EXPECT_EQ(o.prior_at(sc.a_plus_1), 3);  // vitally demanded via p
+  EXPECT_EQ(o.prior_at(sc.a), 3);         // shared, best path vital
+  EXPECT_EQ(o.prior_at(sc.d), 2);         // eagerly speculated branch
+  EXPECT_EQ(o.prior_at(sc.c), 1);         // unrequested else-branch: reserve
+  EXPECT_TRUE(o.in_GAR(sc.abc));          // dereferenced branch is garbage
+  EXPECT_TRUE(o.in_GAR(sc.b));
+
+  // Task classifications (Properties 3-6).
+  EXPECT_EQ(o.classify(sc.tasks[0]), TaskClass::kVital);
+  EXPECT_EQ(o.classify(sc.tasks[1]), TaskClass::kEager);
+  EXPECT_EQ(o.classify(sc.tasks[2]), TaskClass::kIrrelevant);
+  EXPECT_EQ(o.classify(sc.tasks[3]), TaskClass::kReserve);
+}
+
+TEST(Fig32TaskTypes, GarAndTNotDisjoint) {
+  // §3.1: "GAR and T are not necessarily disjoint" — the irrelevant task's
+  // source keeps its garbage destination T-reachable.
+  Graph g(4);
+  const TaskTypeScenario sc = build_task_type_scenario(g);
+  Oracle o(g, sc.root, sc.tasks);
+  EXPECT_TRUE(o.in_GAR(sc.b));
+  EXPECT_TRUE(o.in_T(sc.b));  // d of task <abc,b>
+}
+
+// ---- Venn relationships on random graphs (Fig 3-3), parameterized. ----
+
+class OracleVennTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleVennTest, SetRelationshipsHold) {
+  Graph g(4);
+  RandomGraphOptions opt;
+  opt.num_vertices = 300;
+  opt.seed = GetParam();
+  const BuiltGraph b = build_random_graph(g, opt);
+  Oracle o(g, b.root, b.tasks);
+
+  std::size_t n_r = 0;
+  g.for_each_live([&](VertexId v) {
+    // R = R_v ⊎ R_e ⊎ R_r (by max-min priority, the three are disjoint).
+    const int p = o.prior_at(v);
+    EXPECT_EQ(o.in_R(v), p >= 1);
+    EXPECT_EQ(o.in_Rv(v) + o.in_Re(v) + o.in_Rr(v), o.in_R(v) ? 1 : 0);
+    // GAR = V − R − F (Property 1); F excluded by for_each_live.
+    EXPECT_EQ(o.in_GAR(v), !o.in_R(v));
+    // DL_v = R_v − T (Property 2').
+    EXPECT_EQ(o.in_DLv(v), o.in_Rv(v) && !o.in_T(v));
+    if (o.in_R(v)) ++n_r;
+  });
+  EXPECT_EQ(n_r, o.count_R());
+  EXPECT_EQ(o.count_R(), o.count_Rv() + o.count_Re() + o.count_Rr());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleVennTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace dgr

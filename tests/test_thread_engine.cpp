@@ -1,0 +1,240 @@
+// Tests for the multi-threaded engine: parallel decentralized marking with
+// real OS threads, wire-serialized cross-PE messages, concurrent cooperating
+// mutations, and full cycles with quiesced restructuring.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "graph/builder.h"
+#include "graph/oracle.h"
+#include "net/wire.h"
+#include "runtime/thread_engine.h"
+
+namespace dgr {
+namespace {
+
+TEST(Wire, TaskRoundTrip) {
+  Task t = Task::mark(Plane::kT, VertexId{3, 77}, VertexId{1, 2}, 2);
+  const Task u = decode_task(encode_task(t));
+  EXPECT_EQ(u.kind, t.kind);
+  EXPECT_EQ(u.plane, t.plane);
+  EXPECT_EQ(u.d, t.d);
+  EXPECT_EQ(u.s, t.s);
+  EXPECT_EQ(u.prior, t.prior);
+
+  Task r = Task::return_val(VertexId{0, 1}, VertexId{5, 9},
+                            Value::of_int(-42), 2);
+  const Task r2 = decode_task(encode_task(r));
+  EXPECT_EQ(r2.value.as_int(), -42);
+  EXPECT_EQ(r2.pool_prior, 2);
+
+  Task q = Task::request(VertexId::invalid(), VertexId{2, 4}, ReqKind::kEager);
+  const Task q2 = decode_task(encode_task(q));
+  EXPECT_EQ(q2.demand, ReqKind::kEager);
+  EXPECT_FALSE(q2.s.valid());
+}
+
+// Fixed-capacity stores so the slot vectors never reallocate under the
+// threads (the documented requirement of the threaded engine).
+Graph make_presized(std::uint32_t pes, std::uint32_t cap) {
+  Graph g(pes, cap);
+  for (PeId pe = 0; pe < pes; ++pe) g.store(pe).set_fixed_capacity(true);
+  return g;
+}
+
+TEST(ThreadEngine, MarksStaticGraphLikeOracle) {
+  Graph g = make_presized(4, 2000);
+  RandomGraphOptions opt;
+  opt.num_vertices = 3000;
+  opt.seed = 42;
+  opt.num_tasks = 32;
+  const BuiltGraph b = build_random_graph(g, opt);
+  Oracle o(g, b.root, b.tasks);
+  const std::size_t expected_gar = o.count_GAR();
+
+  ThreadEngine eng(g);
+  eng.set_root(b.root);
+  for (const TaskRef& t : b.tasks)
+    eng.inject(Task::request(t.s, t.d, ReqKind::kVital));
+  eng.start();
+  eng.controller().start_cycle();
+  eng.wait_cycle_done();
+  eng.stop();
+
+  EXPECT_EQ(eng.controller().last().swept, expected_gar);
+  for (VertexId v : b.vertices) {
+    if (g.is_free(v)) continue;
+    EXPECT_EQ(eng.marker().is_marked(Plane::kR, v), o.in_R(v));
+    EXPECT_EQ(eng.marker().prior(Plane::kR, v), o.prior_at(v));
+    EXPECT_EQ(eng.marker().is_marked(Plane::kT, v), o.in_T(v));
+  }
+}
+
+TEST(ThreadEngine, DeadlockScenarioDetected) {
+  Graph g = make_presized(2, 64);
+  const DeadlockScenario sc = build_deadlock_scenario(g);
+  ThreadEngine eng(g);
+  eng.set_root(sc.root);
+  for (const TaskRef& t : sc.tasks)
+    eng.inject(Task::request(t.s, t.d, ReqKind::kVital));
+  eng.start();
+  eng.controller().start_cycle();
+  eng.wait_cycle_done();
+  eng.stop();
+  const CycleResult& res = eng.controller().last();
+  ASSERT_TRUE(res.deadlock_report_valid);
+  ASSERT_EQ(res.deadlocked.size(), 1u);
+  EXPECT_EQ(res.deadlocked[0], sc.x);
+}
+
+TEST(ThreadEngine, RepeatedCyclesAreStable) {
+  Graph g = make_presized(4, 1500);
+  RandomGraphOptions opt;
+  opt.num_vertices = 2000;
+  opt.seed = 7;
+  const BuiltGraph b = build_random_graph(g, opt);
+  ThreadEngine eng(g);
+  eng.set_root(b.root);
+  eng.start();
+  std::size_t first_swept = 0;
+  for (int i = 0; i < 5; ++i) {
+    CycleOptions copt;
+    copt.detect_deadlock = i % 2 == 0;
+    eng.controller().start_cycle(copt);
+    eng.wait_cycle_done();
+    if (i == 0) {
+      first_swept = eng.controller().last().swept;
+    } else {
+      // Nothing mutates between cycles: all garbage went in cycle 1.
+      EXPECT_EQ(eng.controller().last().swept, 0u);
+    }
+  }
+  eng.stop();
+  EXPECT_GT(first_swept, 0u);
+}
+
+TEST(ThreadEngine, ConcurrentMutationsDoNotLoseReachableVertices) {
+  // Marking races a mutator thread doing cooperating add/delete/expand.
+  // Afterwards: everything reachable is marked, everything garbage at start
+  // was swept (Theorem 1 under real concurrency).
+  Graph g = make_presized(4, 4000);
+  RandomGraphOptions opt;
+  opt.num_vertices = 3000;
+  opt.seed = 11;
+  opt.p_detached = 0.3;
+  const BuiltGraph b = build_random_graph(g, opt);
+
+  std::vector<VertexId> gar_tb;
+  {
+    Oracle o(g, b.root, {});
+    for (VertexId v : b.vertices)
+      if (!g.is_free(v) && o.in_GAR(v)) gar_tb.push_back(v);
+  }
+
+  ThreadEngine eng(g);
+  eng.set_root(b.root);
+  eng.start();
+  CycleOptions copt;
+  copt.detect_deadlock = false;
+  eng.controller().start_cycle(copt);
+
+  // Mutator storm from this (external) thread, via atomic sections.
+  Rng rng(999);
+  auto sample = [&] {
+    VertexId v = b.root;
+    for (std::uint64_t i = rng.below(10); i > 0; --i) {
+      // Probe under the vertex's own lock-free read: acceptable for test
+      // sampling; mutations themselves are properly locked.
+      const Vertex& vx = g.at(v);
+      if (vx.args.empty()) break;
+      const VertexId nxt = vx.args[rng.below(vx.args.size())].to;
+      if (!nxt.valid() || g.is_free(nxt)) break;
+      v = nxt;
+    }
+    return v;
+  };
+  int mutations = 0;
+  while (!eng.controller().idle() && mutations < 2000) {
+    const VertexId a = sample();
+    switch (rng.below(3)) {
+      case 0: {
+        eng.atomically({a}, [&] {
+          Vertex& va = g.at(a);
+          if (!va.args.empty())
+            eng.mutator().delete_reference(a, va.args[0].to);
+        });
+        break;
+      }
+      case 1: {
+        // add-reference(a,b,c): probe, then revalidate under the locks.
+        const Vertex& va = g.at(a);
+        if (va.args.empty()) break;
+        const VertexId bb = va.args[0].to;
+        if (!bb.valid() || g.is_free(bb) || g.at(bb).args.empty()) break;
+        const VertexId c = g.at(bb).args[0].to;
+        if (!c.valid() || g.is_free(c)) break;
+        eng.atomically({a, bb, c}, [&] {
+          // Revalidate under the locks.
+          if (g.is_free(a) || g.is_free(bb) || g.is_free(c)) return;
+          if (g.at(a).arg_index(bb) < 0 || g.at(bb).arg_index(c) < 0) return;
+          eng.mutator().add_reference(a, bb, c, ReqKind::kVital);
+        });
+        break;
+      }
+      case 2: {
+        const VertexId f = g.alloc(a.pe, OpCode::kData);
+        if (!f.valid()) break;  // store full
+        eng.atomically({a, f}, [&] {
+          const VertexId fresh[] = {f};
+          eng.mutator().expand_node(a, fresh);
+          eng.mutator().add_reference_via(
+              a, std::span<const VertexId>(&a, 1), f, ReqKind::kEager);
+        });
+        break;
+      }
+    }
+    ++mutations;
+  }
+  eng.wait_cycle_done();
+  eng.stop();
+
+  for (VertexId v : gar_tb) EXPECT_TRUE(g.is_free(v));
+  ASSERT_FALSE(g.is_free(b.root));
+  Oracle after(g, b.root, {});
+  g.for_each_live([&](VertexId v) {
+    if (after.in_R(v)) {
+      EXPECT_TRUE(eng.marker().is_marked(Plane::kR, v));
+    }
+    for (const ArgEdge& e : g.at(v).args) {
+      EXPECT_FALSE(g.is_free(e.to)) << "dangling edge after threaded cycle";
+    }
+  });
+}
+
+TEST(ThreadEngine, ManyPesScaleSmoke) {
+  const std::uint32_t pes =
+      std::min(8u, std::max(2u, std::thread::hardware_concurrency()));
+  Graph g = make_presized(pes, 3000);
+  RandomGraphOptions opt;
+  opt.num_vertices = pes * 2000;
+  opt.seed = 5;
+  const BuiltGraph b = build_random_graph(g, opt);
+  ThreadEngine eng(g);
+  eng.set_root(b.root);
+  eng.start();
+  CycleOptions copt;
+  copt.detect_deadlock = false;
+  eng.controller().start_cycle(copt);
+  eng.wait_cycle_done();
+  eng.stop();
+  // Cross-PE message traffic must exist (partition-crossing marking).
+  EXPECT_GT(eng.stats().remote_messages, 0u);
+  EXPECT_GT(eng.stats().bytes_sent, 0u);
+  Oracle o(g, b.root, {});
+  g.for_each_live([&](VertexId v) {
+    EXPECT_EQ(eng.marker().is_marked(Plane::kR, v), o.in_R(v));
+  });
+}
+
+}  // namespace
+}  // namespace dgr

@@ -1,0 +1,164 @@
+// Unit tests for the utility layer: RNG determinism, statistics, queues.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "util/mpmc_queue.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace dgr {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(13), 13u);
+  EXPECT_EQ(r.below(0), 0u);
+  EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.range(5, 8));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(*seen.begin(), 5u);
+  EXPECT_EQ(*seen.rbegin(), 8u);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, SubstreamsAreIndependent) {
+  Rng a = Rng::substream(5, 0);
+  Rng b = Rng::substream(5, 1);
+  EXPECT_NE(a.next(), b.next());
+  // Same stream id reproduces.
+  Rng c = Rng::substream(5, 0);
+  Rng d = Rng::substream(5, 0);
+  EXPECT_EQ(c.next(), d.next());
+}
+
+TEST(OnlineStats, MeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombined) {
+  OnlineStats a, b, all;
+  Rng r(3);
+  for (int i = 0; i < 500; ++i) {
+    const double x = r.uniform01() * 100;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, PercentilesApproximate) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.add(i);
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_NEAR(h.percentile(50), 5000, 5000 * 0.05);
+  EXPECT_NEAR(h.percentile(99), 9900, 9900 * 0.05);
+  EXPECT_DOUBLE_EQ(h.max_value(), 10000);
+}
+
+TEST(Histogram, MergeAccumulates) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.add(1.0);
+  for (int i = 0; i < 100; ++i) b.add(1000.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_GT(a.percentile(99), 500);
+  EXPECT_LT(a.percentile(25), 2);
+}
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push(i);
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcQueue, CloseUnblocksConsumers) {
+  MpmcQueue<int> q;
+  std::thread consumer([&] {
+    while (q.pop().has_value()) {
+    }
+  });
+  q.push(1);
+  q.push(2);
+  q.close();
+  consumer.join();
+  SUCCEED();
+}
+
+TEST(MpmcQueue, ConcurrentProducersConsumers) {
+  MpmcQueue<int> q;
+  constexpr int kPerProducer = 2000;
+  std::atomic<long long> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 4; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  for (int c = 0; c < 4; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum += *v;
+        ++consumed;
+      }
+    });
+  }
+  for (int p = 0; p < 4; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.close();
+  for (int c = 4; c < 8; ++c) threads[static_cast<std::size_t>(c)].join();
+  EXPECT_EQ(consumed.load(), 4 * kPerProducer);
+  const long long n = 4LL * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace dgr
