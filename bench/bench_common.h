@@ -12,6 +12,7 @@
 
 #include "graph/builder.h"
 #include "graph/oracle.h"
+#include "obs/metrics.h"
 #include "reduction/machine.h"
 #include "runtime/sim_engine.h"
 
@@ -59,6 +60,31 @@ inline void print_header(const char* experiment, const char* source,
   std::printf("%s  (paper: %s)\n", experiment, source);
   std::printf("claim: %s\n", claim);
   std::printf("================================================================\n");
+}
+
+// Attach the obs registry's aggregate counters to a google-benchmark state so
+// BENCH_*.json carries work-unit context next to the wall-clock numbers.
+inline void report_obs_counters(benchmark::State& state,
+                                const obs::MetricsRegistry& reg) {
+  using obs::Counter;
+  state.counters["mark_tasks"] = double(reg.total(Counter::kMarkTasks));
+  state.counters["return_tasks"] = double(reg.total(Counter::kReturnTasks));
+  state.counters["remote_msgs"] = double(reg.total(Counter::kRemoteMessages));
+  state.counters["local_msgs"] = double(reg.total(Counter::kLocalMessages));
+  state.counters["bytes_sent"] = double(reg.total(Counter::kBytesSent));
+}
+
+// Per-phase breakdown of the engine's last completed cycle: M_T (task-rooted,
+// deadlock detection) vs M_R (priority marking) costs, per DESIGN.md §5.
+inline void report_phase_counters(benchmark::State& state, SimEngine& eng) {
+  const CycleResult& c = eng.controller().last();
+  state.counters["mt_marks"] = double(c.stats_t.marks);
+  state.counters["mt_returns"] = double(c.stats_t.returns);
+  state.counters["mr_marks"] = double(c.stats_r.marks);
+  state.counters["mr_returns"] = double(c.stats_r.returns);
+  state.counters["swept"] = double(c.swept);
+  state.counters["expunged"] = double(c.expunged);
+  report_obs_counters(state, eng.metrics_registry());
 }
 
 }  // namespace dgr::bench

@@ -21,6 +21,7 @@ struct RunResult {
   std::uint64_t collections = 0;
   std::uint64_t max_pause = 0;   // longest mutator stall, work units
   std::uint64_t total_pause = 0;
+  std::uint64_t remote_msgs = 0;
   std::int64_t result = -1;
 };
 
@@ -62,6 +63,7 @@ RunResult run_concurrent(std::uint64_t seed) {
   const std::uint64_t restructure_scan = g.total_live();
   r.max_pause = restructure_scan;
   r.total_pause = restructure_scan * r.collections;
+  r.remote_msgs = eng.metrics().remote_messages;
   r.result = m.result_of(root) ? m.result_of(root)->as_int() : -1;
   return r;
 }
@@ -124,7 +126,13 @@ void table() {
 }
 
 void BM_ConcurrentRun(benchmark::State& state) {
-  for (auto _ : state) benchmark::DoNotOptimize(run_concurrent(1).result);
+  RunResult last;
+  for (auto _ : state) {
+    last = run_concurrent(1);
+    benchmark::DoNotOptimize(last.result);
+  }
+  state.counters["collections"] = double(last.collections);
+  state.counters["remote_msgs"] = double(last.remote_msgs);
 }
 BENCHMARK(BM_ConcurrentRun)->Unit(benchmark::kMillisecond);
 

@@ -17,6 +17,8 @@ namespace {
 struct MarkRow {
   std::uint64_t marks;
   std::uint64_t span;  // simulated step span of the cycle
+  double lat_p50 = 0;  // observed delivery latency (sim steps)
+  double lat_p99 = 0;
 };
 
 MarkRow run_mark(std::uint32_t latency, std::uint64_t seed) {
@@ -36,6 +38,10 @@ MarkRow run_mark(std::uint32_t latency, std::uint64_t seed) {
   MarkRow r;
   r.marks = eng.controller().last().stats_r.marks;
   r.span = eng.metrics().steps - t0;
+  const Histogram lat =
+      eng.metrics_registry().merged_hist(obs::Hist::kMsgLatency);
+  r.lat_p50 = lat.p50();
+  r.lat_p99 = lat.p99();
   return r;
 }
 
@@ -70,11 +76,13 @@ void table() {
                "task parallelism hides latency: work and executed-step span "
                "stay flat across delays; results and GC stay correct");
   std::printf("marking cycle, 20k-vertex graph:\n");
-  std::printf("   %8s %12s %12s\n", "latency", "mark_msgs", "step_span");
+  std::printf("   %8s %12s %12s %10s %10s\n", "latency", "mark_msgs",
+              "step_span", "lat_p50", "lat_p99");
   for (std::uint32_t lat : {0u, 2u, 8u, 32u}) {
     const MarkRow r = run_mark(lat, 7);
-    std::printf("   %8u %12llu %12llu\n", lat, (unsigned long long)r.marks,
-                (unsigned long long)r.span);
+    std::printf("   %8u %12llu %12llu %10.1f %10.1f\n", lat,
+                (unsigned long long)r.marks, (unsigned long long)r.span,
+                r.lat_p50, r.lat_p99);
   }
   std::printf("\nfib(13) under continuous collection:\n");
   std::printf("   %8s %10s %12s %12s\n", "latency", "result", "reduction",

@@ -96,6 +96,7 @@ void BM_CycleByFamily(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(g.total_live()));
+  report_phase_counters(state, eng);
 }
 BENCHMARK(BM_CycleByFamily)->Arg(8)->Arg(12)->Arg(16)
     ->Unit(benchmark::kMillisecond);

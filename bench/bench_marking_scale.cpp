@@ -76,6 +76,9 @@ void BM_ThreadedCycle(benchmark::State& state) {
   state.counters["marks/s"] = benchmark::Counter(
       static_cast<double>(eng.marker().stats(Plane::kR).marks),
       benchmark::Counter::kIsRate);
+  report_obs_counters(state, eng.metrics_registry());
+  state.counters["mailbox_high_water"] =
+      double(eng.stats().mailbox_high_water);
 }
 BENCHMARK(BM_ThreadedCycle)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);

@@ -9,9 +9,14 @@
 //   --seed S         scheduler seed (default 1)
 //   --speculate      eager-evaluate both branches of every if
 //   --gc             run continuous marking cycles during evaluation
-//   --detect-deadlock  run a detection cycle if evaluation wedges
+//   --detect-deadlock  run M_T in --gc cycles; report deadlocked vertices
+//                    if evaluation wedges
 //   --latency N      cross-PE message delivery delay, in sim steps
 //   --stats          print machine/engine statistics
+//   --trace FILE     write a Chrome trace_event file (implies --gc; load in
+//                    chrome://tracing or https://ui.perfetto.dev)
+//   --trace-jsonl FILE  write the raw trace as deterministic JSONL
+//   --metrics FILE   write the per-PE metrics registry as JSON
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,10 +24,21 @@
 #include <sstream>
 #include <string>
 
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "reduction/machine.h"
 #include "runtime/sim_engine.h"
 
 namespace {
+
+void write_file(const char* path, const std::string& data) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "dgr_run: cannot write '%s'\n", path);
+    std::exit(2);
+  }
+  f << data;
+}
 
 std::string read_all(const char* path) {
   if (std::strcmp(path, "-") == 0) {
@@ -50,6 +66,9 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   bool speculate = false, gc = false, detect = false, stats = false;
   std::uint32_t latency = 0;
+  const char* trace_path = nullptr;
+  const char* jsonl_path = nullptr;
+  const char* metrics_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--pes") && i + 1 < argc) {
       pes = static_cast<std::uint32_t>(std::atoi(argv[++i]));
@@ -57,6 +76,14 @@ int main(int argc, char** argv) {
       seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (!std::strcmp(argv[i], "--latency") && i + 1 < argc) {
       latency = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
+      trace_path = argv[++i];
+      gc = true;  // a trace without marking cycles would be empty
+    } else if (!std::strcmp(argv[i], "--trace-jsonl") && i + 1 < argc) {
+      jsonl_path = argv[++i];
+      gc = true;
+    } else if (!std::strcmp(argv[i], "--metrics") && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--speculate")) {
       speculate = true;
     } else if (!std::strcmp(argv[i], "--gc")) {
@@ -75,9 +102,17 @@ int main(int argc, char** argv) {
   if (!path) {
     std::fprintf(stderr,
                  "usage: dgr_run [--pes N] [--seed S] [--speculate] [--gc] "
-                 "[--detect-deadlock] [--stats] <file|->\n");
+                 "[--detect-deadlock] [--stats] [--trace FILE] "
+                 "[--trace-jsonl FILE] [--metrics FILE] <file|->\n");
     return 2;
   }
+#if !DGR_TRACE_ENABLED
+  if (trace_path || jsonl_path) {
+    std::fprintf(stderr,
+                 "dgr_run: tracing was compiled out (-DDGR_TRACE=OFF)\n");
+    return 2;
+  }
+#endif
 
   Graph graph(pes);
   SimOptions sim;
@@ -99,9 +134,13 @@ int main(int argc, char** argv) {
   const VertexId root = machine->load_main();
   engine.set_root(root);
   engine.set_reducer([&](const Task& t) { machine->exec(t); });
+  if (trace_path || jsonl_path) engine.enable_trace();
   if (gc) {
-    engine.controller().set_continuous(true, CycleOptions{false});
-    engine.controller().start_cycle(CycleOptions{false});
+    // With --detect-deadlock, every continuous cycle runs M_T before M_R
+    // (deadlock detection per cycle); otherwise cycles are M_R-only.
+    const CycleOptions copt{detect};
+    engine.controller().set_continuous(true, copt);
+    engine.controller().start_cycle(copt);
   }
   machine->demand(root);
   while (!machine->result_of(root).has_value()) {
@@ -141,5 +180,15 @@ int main(int argc, char** argv) {
                 (unsigned long long)engine.controller().cycles_completed(),
                 (unsigned long long)engine.controller().total_swept());
   }
+#if DGR_TRACE_ENABLED
+  if (trace_path || jsonl_path) {
+    const std::vector<obs::TraceEvent> events = engine.trace()->snapshot();
+    if (trace_path)
+      write_file(trace_path, obs::to_chrome_trace(events, graph.num_pes()));
+    if (jsonl_path) write_file(jsonl_path, obs::to_jsonl(events));
+  }
+#endif
+  if (metrics_path)
+    write_file(metrics_path, engine.metrics_registry().to_json() + "\n");
   return rc;
 }

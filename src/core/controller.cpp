@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "graph/oracle.h"
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace dgr {
@@ -30,6 +31,8 @@ void Controller::start_cycle(const CycleOptions& opt) {
   opt_ = opt;
   cur_ = CycleResult{};
   cur_.cycle = cycles_ + 1;
+  DGR_TRACE_EVENT(trace_, obs::EventType::kCycleStart, Plane::kR, 0,
+                  cur_.cycle, roots_.size());
   if (opt_.detect_deadlock) {
     start_mt();
   } else {
@@ -81,11 +84,15 @@ void Controller::start_mt() {
   cur_.ran_mt = true;
   const VertexId troot = build_task_roots();
   marker_.begin(Plane::kT, troot, 0);
+  DGR_TRACE_EVENT(trace_, obs::EventType::kPhaseBegin, Plane::kT, 0,
+                  cur_.cycle, marker_.epoch(Plane::kT));
 }
 
 void Controller::start_mr() {
   phase_ = Phase::kMarkR;
   marker_.begin(Plane::kR, marking_root(), 3);
+  DGR_TRACE_EVENT(trace_, obs::EventType::kPhaseBegin, Plane::kR, 0,
+                  cur_.cycle, marker_.epoch(Plane::kR));
 }
 
 void Controller::on_plane_done(Plane p) {
@@ -96,6 +103,8 @@ void Controller::on_plane_done(Plane p) {
   if (phase_.load(std::memory_order_acquire) == Phase::kMarkT) {
     DGR_CHECK(p == Plane::kT);
     cur_.stats_t = marker_.stats(Plane::kT);
+    DGR_TRACE_EVENT(trace_, obs::EventType::kPhaseEnd, Plane::kT, 0,
+                    cur_.cycle, cur_.stats_t.marks, cur_.stats_t.returns);
     // "M_T must execute before M_R to properly detect deadlocked nodes"
     // (§5.4.1). The T marks persist (separate plane) while M_R runs.
     start_mr();
@@ -103,6 +112,8 @@ void Controller::on_plane_done(Plane p) {
   }
   DGR_CHECK(phase_ == Phase::kMarkR && p == Plane::kR);
   cur_.stats_r = marker_.stats(Plane::kR);
+  DGR_TRACE_EVENT(trace_, obs::EventType::kPhaseEnd, Plane::kR, 0, cur_.cycle,
+                  cur_.stats_r.marks, cur_.stats_r.returns);
   if (defer_restructure_) {
     phase_.store(Phase::kRestructureDue, std::memory_order_release);
   } else {
@@ -142,8 +153,14 @@ void Controller::restructure() {
     const Vertex& vx = g_.at(v);
     return vx.live && !vx.aux && !marker_.is_marked(Plane::kR, v);
   };
+  if (cur_.deadlock_report_valid)
+    DGR_TRACE_EVENT(trace_, obs::EventType::kDeadlockReport, Plane::kT, 0,
+                    cur_.cycle, cur_.deadlocked.size());
+
   cur_.expunged = hooks_.expunge_tasks(
       [&](const Task& t) { return in_gar(t.d); });
+  DGR_TRACE_EVENT(trace_, obs::EventType::kExpunge, Plane::kR, 0, cur_.cycle,
+                  cur_.expunged);
 
   // Clear taskroot endpoint lists so they never dangle into swept slots.
   for (PeId pe = 0; pe < g_.num_pes(); ++pe)
@@ -180,6 +197,8 @@ void Controller::restructure() {
   }
   for (VertexId w : garbage) g_.store(w.pe).release(w.idx);
   cur_.swept = garbage.size();
+  DGR_TRACE_EVENT(trace_, obs::EventType::kSweep, Plane::kR, 0, cur_.cycle,
+                  cur_.swept);
 
   // Stale-waiter lists (in-transit ↦-edge accounting, see
   // Vertex::stale_requested) have served their purpose for this cycle's M_T.
@@ -191,6 +210,8 @@ void Controller::restructure() {
     const std::uint8_t p = marker_.prior(Plane::kR, t.d);
     return p ? p : std::uint8_t{1};
   });
+  DGR_TRACE_EVENT(trace_, obs::EventType::kReprioritize, Plane::kR, 0,
+                  cur_.cycle, cur_.reprioritized);
 
   marker_.end(Plane::kR);
   if (cur_.ran_mt) marker_.end(Plane::kT);
@@ -198,6 +219,8 @@ void Controller::restructure() {
   ++cycles_;
   total_swept_ += cur_.swept;
   total_expunged_ += cur_.expunged;
+  DGR_TRACE_EVENT(trace_, obs::EventType::kCycleEnd, Plane::kR, 0, cur_.cycle,
+                  cur_.swept, cur_.expunged);
   last_ = cur_;
   phase_ = Phase::kIdle;
   hooks_.quiesce_end();

@@ -120,6 +120,11 @@ class Controller {
   // per cycle); aborts on the first reachable vertex about to be freed.
   void set_paranoid_sweep_check(bool on) { paranoid_ = on; }
 
+  // Observability: emit cycle / phase / restructuring events into `t`
+  // (nullptr disables). Engines wire this together with the marker's and
+  // mutator's sinks via enable_trace().
+  void set_trace(obs::TraceBuffer* t) { trace_ = t; }
+
   const CycleResult& last() const { return last_; }
   std::uint64_t cycles_completed() const { return cycles_; }
   std::uint64_t total_swept() const { return total_swept_; }
@@ -151,6 +156,7 @@ class Controller {
   bool continuous_ = false;
   CycleOptions continuous_opt_;
   std::function<void(const CycleResult&)> observer_;
+  obs::TraceBuffer* trace_ = nullptr;
   CycleResult last_;
   CycleResult cur_;
   std::uint64_t cycles_ = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace dgr {
 
 void Mutator::delete_reference(VertexId a, VertexId b) {
@@ -83,6 +85,7 @@ void Mutator::cooperate_new_edge(Plane plane, VertexId parent,
   if (plane == Plane::kR) {
     DGR_CHECK_MSG(false, "add-reference: no transient helper for plane R");
   }
+  DGR_TRACE_EVENT(trace_, obs::EventType::kCoopTaint, plane, parent.pe, 0);
   marker_.taint_cycle(plane);
 }
 
@@ -157,6 +160,8 @@ void Mutator::acquire_reference(VertexId x, VertexId c, ReqKind k) {
       marker_.open_count(plane, x);
       marker_.spawn_mark(plane, c, x, prior);
     } else {
+      DGR_TRACE_EVENT(trace_, obs::EventType::kRescueQueued, plane, c.pe, 0,
+                      c.pack());
       marker_.rescue(plane, c, prior ? prior : std::uint8_t{1});
     }
   }

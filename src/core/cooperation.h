@@ -39,6 +39,10 @@ class Mutator {
   // be wired; each consults only its own activity flag).
   void set_compact_marker(CompactMarker* cm) { compact_ = cm; }
 
+  // Observability: emit cooperation events (rescue queueing, cycle taints)
+  // into `t` (nullptr disables).
+  void set_trace(obs::TraceBuffer* t) { trace_ = t; }
+
   // ---- Ablation switches (benchmarks only). ----
   // Disables the Fig 4-2 splicing (add/expand/acquire degrade to raw
   // connectivity changes): reproduces the §4.2 failure mode at scale.
@@ -132,6 +136,7 @@ class Mutator {
   Graph& g_;
   Marker& marker_;
   CompactMarker* compact_ = nullptr;
+  obs::TraceBuffer* trace_ = nullptr;
   bool coop_ = true;
   bool transit_ = true;
 };

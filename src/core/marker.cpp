@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace dgr {
 
 void Marker::begin(Plane plane, VertexId root, std::uint8_t root_prior) {
@@ -55,7 +57,13 @@ void Marker::spawn_return(Plane plane, VertexId par) {
 void Marker::exec_mark(Plane plane, VertexId v, VertexId par,
                        std::uint8_t prior) {
   PlaneState& ps = st(plane);
+#if DGR_TRACE_ENABLED
+  const std::uint64_t nmarks = ++ps.stats.marks;
+  if (trace_ && nmarks % kWaveFrontPeriod == 0)
+    trace_->emit(obs::EventType::kWaveFront, plane, v.pe, 0, nmarks);
+#else
   ++ps.stats.marks;
+#endif
   Vertex& vx = g_.at(v);
   DGR_CHECK_MSG(vx.live, "mark task reached a freed vertex");
   MarkPlane& m = fresh(vx, plane);
@@ -205,6 +213,8 @@ bool Marker::launch_rescue_wave(Plane plane) {
   m.mt_cnt = static_cast<std::uint32_t>(pending.size());
   ps.done = false;
   ++ps.rescue_waves;
+  DGR_TRACE_EVENT(trace_, obs::EventType::kRescueWave, plane, 0, 0,
+                  pending.size());
   for (const auto& [v, prior] : pending)
     sink_.spawn(Task::mark(plane, v, ps.rescue_root,
                            plane == Plane::kR ? prior : std::uint8_t{0}));

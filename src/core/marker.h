@@ -25,6 +25,10 @@
 
 namespace dgr {
 
+namespace obs {
+class TraceBuffer;
+}
+
 // Counters are atomic so the multi-threaded engine can execute marking tasks
 // on many PE threads concurrently (each task execution holds only its own
 // vertex's lock).
@@ -150,6 +154,11 @@ class Marker {
 
   const MarkStats& stats(Plane plane) const { return st(plane).stats; }
 
+  // Observability: emit wave-front / rescue-wave events into `t` (nullptr
+  // disables). Wave fronts are sampled every kWaveFrontPeriod mark execs.
+  void set_trace(obs::TraceBuffer* t) { trace_ = t; }
+  static constexpr std::uint32_t kWaveFrontPeriod = 32;
+
  private:
   struct PlaneState {
     std::atomic<std::uint64_t> epoch{0};
@@ -192,6 +201,7 @@ class Marker {
   TaskSink& sink_;
   PlaneState state_[2];
   std::function<void(Plane)> done_cb_;
+  obs::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace dgr

@@ -19,6 +19,14 @@ class Mailbox {
     bytes_in_.fetch_add(msg.size(), std::memory_order_relaxed);
     msgs_in_.fetch_add(1, std::memory_order_relaxed);
     q_.push(std::move(msg));
+    // High-water mark of the backlog. Racy-but-monotone CAS loop: a stale
+    // read only under-reports by a message or two, which is fine for a gauge.
+    const std::size_t depth = q_.size();
+    std::uint64_t hw = high_water_.load(std::memory_order_relaxed);
+    while (depth > hw &&
+           !high_water_.compare_exchange_weak(hw, depth,
+                                              std::memory_order_relaxed)) {
+    }
   }
 
   std::optional<Bytes> try_receive() { return q_.try_pop(); }
@@ -33,11 +41,16 @@ class Mailbox {
   std::uint64_t bytes_received() const {
     return bytes_in_.load(std::memory_order_relaxed);
   }
+  // Deepest backlog observed at delivery time.
+  std::uint64_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
 
  private:
   MpmcQueue<Bytes> q_;
   std::atomic<std::uint64_t> msgs_in_{0};
   std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> high_water_{0};
 };
 
 }  // namespace dgr

@@ -1,0 +1,38 @@
+// Trace exporters: JSONL (one event object per line, deterministic field
+// order — byte-reproducible for a fixed sim seed) and Chrome trace_event
+// JSON (load in chrome://tracing or https://ui.perfetto.dev; one track per
+// PE plus a "controller" track carrying cycle/phase spans).
+//
+// Only built when DGR_TRACE is ON; dgr_run and tests guard their use with
+// DGR_TRACE_ENABLED.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace dgr::obs {
+
+// One line per event:
+//   {"ts":12,"type":"sweep","plane":"R","pe":0,"cycle":3,"a":17,"b":0}
+std::string to_jsonl(const std::vector<TraceEvent>& events);
+
+// Inverse of to_jsonl (accepts exactly that format; used by tests and
+// offline tooling). Unparseable lines are skipped.
+std::vector<TraceEvent> from_jsonl(const std::string& text);
+
+// Chrome trace_event "JSON Object Format": {"traceEvents":[...]}.
+//   - metadata names tid 0..num_pes-1 "PE n" and tid num_pes "controller";
+//   - cycle and M_T/M_R phases become duration ("X") events on the
+//     controller track;
+//   - restructuring actions and deadlock reports become instant events on
+//     the controller track; wave fronts / rescues / taints land on the
+//     emitting PE's track;
+//   - wave fronts additionally emit counter ("C") events, one counter
+//     series per PE and plane, charting the wave's advance.
+// Timestamps are exported as microseconds (sim: 1 step = 1 µs).
+std::string to_chrome_trace(const std::vector<TraceEvent>& events,
+                            std::uint32_t num_pes);
+
+}  // namespace dgr::obs

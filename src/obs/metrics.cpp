@@ -1,0 +1,138 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <functional>
+
+namespace dgr::obs {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kMarkTasks: return "mark_tasks";
+    case Counter::kReturnTasks: return "return_tasks";
+    case Counter::kReductionTasks: return "reduction_tasks";
+    case Counter::kRemoteMessages: return "remote_messages";
+    case Counter::kLocalMessages: return "local_messages";
+    case Counter::kBytesSent: return "bytes_sent";
+    case Counter::kCount_: break;
+  }
+  return "?";
+}
+
+const char* hist_name(Hist h) {
+  switch (h) {
+    case Hist::kMarkQueueDepth: return "mark_queue_depth";
+    case Hist::kPoolDepth: return "pool_depth";
+    case Hist::kMsgLatency: return "msg_latency";
+    case Hist::kCount_: break;
+  }
+  return "?";
+}
+
+MetricsRegistry::MetricsRegistry(std::uint32_t num_pes)
+    : slots_(num_pes ? num_pes : 1) {}
+
+std::uint64_t MetricsRegistry::total(Counter c) const noexcept {
+  std::uint64_t n = 0;
+  for (const Slot& s : slots_)
+    n += s.c[static_cast<std::size_t>(c)].load(std::memory_order_relaxed);
+  return n;
+}
+
+void MetricsRegistry::observe(std::uint32_t pe, Hist h, double v) noexcept {
+  Slot& s = slots_[pe];
+  while (s.hist_lock.test_and_set(std::memory_order_acquire)) {}
+  s.h[static_cast<std::size_t>(h)].add(v);
+  s.hist_lock.clear(std::memory_order_release);
+}
+
+Histogram MetricsRegistry::hist(std::uint32_t pe, Hist h) const {
+  const Slot& s = slots_[pe];
+  while (s.hist_lock.test_and_set(std::memory_order_acquire)) {}
+  Histogram copy = s.h[static_cast<std::size_t>(h)];
+  s.hist_lock.clear(std::memory_order_release);
+  return copy;
+}
+
+Histogram MetricsRegistry::merged_hist(Hist h) const {
+  Histogram out;
+  for (std::uint32_t pe = 0; pe < num_pes(); ++pe) out.merge(hist(pe, h));
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  for (Slot& s : slots_) {
+    for (auto& a : s.c) a.store(0, std::memory_order_relaxed);
+    while (s.hist_lock.test_and_set(std::memory_order_acquire)) {}
+    for (Histogram& hg : s.h) hg.reset();
+    s.hist_lock.clear(std::memory_order_release);
+  }
+}
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)v);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+void append_counters(std::string& out,
+                     const std::function<std::uint64_t(Counter)>& get) {
+  out += '{';
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (i) out += ',';
+    out += '"';
+    out += counter_name(static_cast<Counter>(i));
+    out += "\":";
+    append_u64(out, get(static_cast<Counter>(i)));
+  }
+  out += '}';
+}
+
+void append_hist(std::string& out, const Histogram& h) {
+  out += "{\"count\":";
+  append_u64(out, h.count());
+  out += ",\"p50\":";
+  append_double(out, h.p50());
+  out += ",\"p99\":";
+  append_double(out, h.p99());
+  out += ",\"max\":";
+  append_double(out, h.max_value());
+  out += '}';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"num_pes\":";
+  append_u64(out, num_pes());
+  out += ",\"totals\":";
+  append_counters(out, [&](Counter c) { return total(c); });
+  out += ",\"pes\":[";
+  for (std::uint32_t pe = 0; pe < num_pes(); ++pe) {
+    if (pe) out += ',';
+    out += "{\"pe\":";
+    append_u64(out, pe);
+    out += ",\"counters\":";
+    append_counters(out, [&](Counter c) { return get(pe, c); });
+    out += ",\"hists\":{";
+    for (std::size_t i = 0; i < kNumHists; ++i) {
+      if (i) out += ',';
+      out += '"';
+      out += hist_name(static_cast<Hist>(i));
+      out += "\":";
+      append_hist(out, hist(pe, static_cast<Hist>(i)));
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dgr::obs

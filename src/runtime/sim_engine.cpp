@@ -1,6 +1,7 @@
 #include "runtime/sim_engine.h"
 
 #include "core/invariants.h"
+#include "obs/trace.h"
 
 namespace dgr {
 
@@ -10,7 +11,7 @@ std::size_t task_wire_size(const Task& t) {
 }
 
 SimEngine::SimEngine(Graph& g, SimOptions opt)
-    : g_(g), opt_(opt), rng_(opt.seed) {
+    : g_(g), opt_(opt), rng_(opt.seed), reg_(g.num_pes()) {
   marker_ = std::make_unique<Marker>(g_, *this);
   mutator_ = std::make_unique<Mutator>(g_, *marker_);
   controller_ =
@@ -21,20 +22,50 @@ SimEngine::SimEngine(Graph& g, SimOptions opt)
 
 SimEngine::~SimEngine() = default;
 
+SimMetrics SimEngine::metrics() const {
+  SimMetrics m;
+  m.steps = steps_;
+  m.mark_tasks = reg_.total(obs::Counter::kMarkTasks);
+  m.return_tasks = reg_.total(obs::Counter::kReturnTasks);
+  m.reduction_tasks = reg_.total(obs::Counter::kReductionTasks);
+  m.remote_messages = reg_.total(obs::Counter::kRemoteMessages);
+  m.local_messages = reg_.total(obs::Counter::kLocalMessages);
+  m.bytes_sent = reg_.total(obs::Counter::kBytesSent);
+  return m;
+}
+
+obs::TraceBuffer* SimEngine::enable_trace(std::size_t capacity) {
+#if DGR_TRACE_ENABLED
+  if (!trace_) {
+    trace_ = std::make_unique<obs::TraceBuffer>(capacity);
+    trace_->set_clock([this] { return steps_; });
+    marker_->set_trace(trace_.get());
+    mutator_->set_trace(trace_.get());
+    controller_->set_trace(trace_.get());
+  }
+  return trace_.get();
+#else
+  (void)capacity;
+  return nullptr;
+#endif
+}
+
 void SimEngine::spawn(Task t) {
   DGR_CHECK_MSG(t.d.valid() && !t.d.is_rootpar(),
                 "spawn to an unowned destination");
   const PeId dst = t.d.pe;
   if (dst == executing_pe_) {
-    ++metrics_.local_messages;
+    reg_.add(executing_pe_, obs::Counter::kLocalMessages);
   } else {
-    ++metrics_.remote_messages;
-    metrics_.bytes_sent += task_wire_size(t);
+    reg_.add(executing_pe_, obs::Counter::kRemoteMessages);
+    reg_.add(executing_pe_, obs::Counter::kBytesSent, task_wire_size(t));
     if (opt_.max_latency > 0) {
       // The message spends real time on the wire.
       const std::uint64_t due =
-          metrics_.steps + 1 +
+          steps_ + 1 +
           (opt_.max_latency > 1 ? rng_.below(opt_.max_latency) : 0);
+      reg_.observe(dst, obs::Hist::kMsgLatency,
+                   static_cast<double>(due - steps_));
       flight_.push_back(InFlight{std::move(t), due});
       return;
     }
@@ -54,7 +85,7 @@ void SimEngine::enqueue_delivered(Task t) {
 
 void SimEngine::deliver_due() {
   for (std::size_t i = 0; i < flight_.size();) {
-    if (flight_[i].due <= metrics_.steps) {
+    if (flight_[i].due <= steps_) {
       Task t = std::move(flight_[i].t);
       flight_[i] = std::move(flight_.back());
       flight_.pop_back();
@@ -105,7 +136,7 @@ bool SimEngine::step() {
     if (!flight_.empty()) {
       std::uint64_t next_due = UINT64_MAX;
       for (const InFlight& f : flight_) next_due = std::min(next_due, f.due);
-      metrics_.steps = std::max(metrics_.steps, next_due);
+      steps_ = std::max(steps_, next_due);
       deliver_due();
       return step();
     }
@@ -123,6 +154,16 @@ bool SimEngine::step() {
   }
   executing_pe_ = c.pe;
 
+  // Sampled service-time queue depths (per-PE histograms).
+  if ((steps_ & 15) == 0) {
+    if (c.marking)
+      reg_.observe(c.pe, obs::Hist::kMarkQueueDepth,
+                   static_cast<double>(mark_q_[c.pe].size()));
+    else
+      reg_.observe(c.pe, obs::Hist::kPoolDepth,
+                   static_cast<double>(pools_[c.pe].size()));
+  }
+
   Task t;
   if (c.marking) {
     auto& q = mark_q_[c.pe];
@@ -135,7 +176,7 @@ bool SimEngine::step() {
     t = pools_[c.pe].pop(&rng_);
   }
   execute(t);
-  ++metrics_.steps;
+  ++steps_;
   maybe_check_invariants();
   return true;
 }
@@ -143,23 +184,21 @@ bool SimEngine::step() {
 void SimEngine::execute(const Task& t) {
   if (task_is_marking(t.kind)) {
     if (t.kind == TaskKind::kCompactMark || t.kind == TaskKind::kPeAck) {
-      if (t.kind == TaskKind::kCompactMark)
-        ++metrics_.mark_tasks;
-      else
-        ++metrics_.return_tasks;
+      reg_.add(executing_pe_, t.kind == TaskKind::kCompactMark
+                                  ? obs::Counter::kMarkTasks
+                                  : obs::Counter::kReturnTasks);
       DGR_CHECK_MSG(static_cast<bool>(compact_marker_),
                     "compact task without a compact collector");
       compact_marker_->exec(t);
       return;
     }
-    if (t.kind == TaskKind::kMark)
-      ++metrics_.mark_tasks;
-    else
-      ++metrics_.return_tasks;
+    reg_.add(executing_pe_, t.kind == TaskKind::kMark
+                                ? obs::Counter::kMarkTasks
+                                : obs::Counter::kReturnTasks);
     marker_->exec(t);
     return;
   }
-  ++metrics_.reduction_tasks;
+  reg_.add(executing_pe_, obs::Counter::kReductionTasks);
   DGR_CHECK_MSG(static_cast<bool>(reducer_),
                 "reduction task executed without a reducer");
   reducer_(t);
@@ -243,7 +282,7 @@ std::size_t SimEngine::reprioritize_tasks(
 
 void SimEngine::maybe_check_invariants() {
   if (!opt_.check_invariants) return;
-  if (metrics_.steps % opt_.invariant_period != 0) return;
+  if (steps_ % opt_.invariant_period != 0) return;
   std::vector<Task> pending;
   for (const auto& q : mark_q_)
     for (const Task& t : q) pending.push_back(t);

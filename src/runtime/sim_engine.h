@@ -23,11 +23,16 @@
 #include "core/marker.h"
 #include "core/task.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "runtime/pool.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
 namespace dgr {
+
+namespace obs {
+class TraceBuffer;
+}
 
 struct SimOptions {
   std::uint64_t seed = 1;
@@ -49,6 +54,10 @@ struct SimOptions {
   std::uint32_t max_latency = 0;
 };
 
+// Aggregate counter view assembled from the per-PE obs::MetricsRegistry —
+// kept as a stable convenience facade for tests, benches and examples; the
+// registry itself (metrics_registry()) carries the per-PE breakdowns and
+// histograms.
 struct SimMetrics {
   std::uint64_t steps = 0;
   std::uint64_t mark_tasks = 0;
@@ -69,7 +78,18 @@ class SimEngine final : public TaskSink, public EngineHooks {
   Mutator& mutator() { return *mutator_; }
   Controller& controller() { return *controller_; }
   Rng& rng() { return rng_; }
-  const SimMetrics& metrics() const { return metrics_; }
+  // Aggregate counter snapshot (see SimMetrics).
+  SimMetrics metrics() const;
+  // Per-PE counters and histograms.
+  obs::MetricsRegistry& metrics_registry() { return reg_; }
+  const obs::MetricsRegistry& metrics_registry() const { return reg_; }
+
+  // Start capturing a structured trace of `capacity` events (ring buffer;
+  // oldest dropped). Timestamps are sim steps, so traces are byte-identical
+  // across runs with the same seed. Returns nullptr when tracing is
+  // compiled out (-DDGR_TRACE=OFF).
+  obs::TraceBuffer* enable_trace(std::size_t capacity = 1 << 14);
+  obs::TraceBuffer* trace() { return trace_.get(); }
 
   // Enable the §6 compact collector (two words of marking state per PE);
   // coexists with the tree collector — run one or the other per cycle.
@@ -140,7 +160,9 @@ class SimEngine final : public TaskSink, public EngineHooks {
   std::size_t mark_pending_ = 0;
   std::uint32_t tax_due_ = 0;  // marking steps owed before next reduction
   PeId executing_pe_ = 0;  // PE owning the currently executing task
-  SimMetrics metrics_;
+  std::uint64_t steps_ = 0;
+  obs::MetricsRegistry reg_;
+  std::unique_ptr<obs::TraceBuffer> trace_;
 };
 
 // Rough wire size of a task message (for traffic accounting).

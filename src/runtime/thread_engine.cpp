@@ -4,6 +4,7 @@
 #include <shared_mutex>
 
 #include "net/wire.h"
+#include "obs/trace.h"
 
 namespace dgr {
 
@@ -18,7 +19,11 @@ std::shared_mutex& mutation_gate() {
 }
 }  // namespace
 
-ThreadEngine::ThreadEngine(Graph& g) : g_(g), locks_(4096) {
+ThreadEngine::ThreadEngine(Graph& g)
+    : g_(g),
+      locks_(4096),
+      reg_(g.num_pes()),
+      t0_(std::chrono::steady_clock::now()) {
   marker_ = std::make_unique<Marker>(g_, *this);
   mutator_ = std::make_unique<Mutator>(g_, *marker_);
   controller_ =
@@ -66,14 +71,11 @@ void ThreadEngine::unlock_vertex(VertexId v) {
 void ThreadEngine::spawn(Task t) {
   DGR_CHECK(t.d.valid() && !t.d.is_rootpar());
   const PeId src = tl_pe >= 0 ? static_cast<PeId>(tl_pe) : t.d.pe;
-  if (src == t.d.pe) {
-    local_msgs_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    remote_msgs_.fetch_add(1, std::memory_order_relaxed);
-  }
+  reg_.add(src, src == t.d.pe ? obs::Counter::kLocalMessages
+                              : obs::Counter::kRemoteMessages);
   if (task_is_marking(t.kind)) {
     std::vector<std::uint8_t> bytes = encode_task(t);
-    bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
+    reg_.add(src, obs::Counter::kBytesSent, bytes.size());
     outstanding_.fetch_add(1, std::memory_order_acq_rel);
     mail_[t.d.pe]->deliver(std::move(bytes));
   } else {
@@ -111,6 +113,11 @@ void ThreadEngine::pe_loop(PeId pe) {
       std::this_thread::yield();
       continue;
     }
+    // Sampled mailbox backlog at service time (per-PE histogram; only this
+    // thread observes its own slot, so the hist lock is uncontended).
+    if ((reg_.get(pe, obs::Counter::kMarkTasks) & 15) == 0)
+      reg_.observe(pe, obs::Hist::kMarkQueueDepth,
+                   static_cast<double>(mail_[pe]->pending()));
     const Task t = decode_task(*msg);
     execute(pe, t);
     outstanding_.fetch_sub(1, std::memory_order_acq_rel);
@@ -119,9 +126,9 @@ void ThreadEngine::pe_loop(PeId pe) {
 }
 
 void ThreadEngine::execute(PeId pe, const Task& t) {
-  (void)pe;
   DGR_CHECK(task_is_marking(t.kind));
-  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  reg_.add(pe, t.kind == TaskKind::kMark ? obs::Counter::kMarkTasks
+                                         : obs::Counter::kReturnTasks);
   // Atomicity of task execution (§2.1): a marking task touches only its
   // destination vertex, so its lock is the whole story.
   lock_vertex(t.d);
@@ -200,12 +207,37 @@ std::size_t ThreadEngine::reprioritize_tasks(
   return n;
 }
 
+obs::TraceBuffer* ThreadEngine::enable_trace(std::size_t capacity) {
+#if DGR_TRACE_ENABLED
+  if (!trace_) {
+    trace_ = std::make_unique<obs::TraceBuffer>(capacity);
+    trace_->set_clock([this] {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0_)
+              .count());
+    });
+    marker_->set_trace(trace_.get());
+    mutator_->set_trace(trace_.get());
+    controller_->set_trace(trace_.get());
+  }
+  return trace_.get();
+#else
+  (void)capacity;
+  return nullptr;
+#endif
+}
+
 ThreadEngineStats ThreadEngine::stats() const {
   ThreadEngineStats s;
-  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
-  s.remote_messages = remote_msgs_.load(std::memory_order_relaxed);
-  s.local_messages = local_msgs_.load(std::memory_order_relaxed);
-  s.bytes_sent = bytes_.load(std::memory_order_relaxed);
+  s.tasks_executed = reg_.total(obs::Counter::kMarkTasks) +
+                     reg_.total(obs::Counter::kReturnTasks) +
+                     reg_.total(obs::Counter::kReductionTasks);
+  s.remote_messages = reg_.total(obs::Counter::kRemoteMessages);
+  s.local_messages = reg_.total(obs::Counter::kLocalMessages);
+  s.bytes_sent = reg_.total(obs::Counter::kBytesSent);
+  for (const auto& m : mail_)
+    s.mailbox_high_water = std::max(s.mailbox_high_water, m->high_water());
   return s;
 }
 

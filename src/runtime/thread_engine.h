@@ -19,6 +19,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <thread>
@@ -28,18 +29,26 @@
 #include "core/cooperation.h"
 #include "core/marker.h"
 #include "net/mailbox.h"
+#include "obs/metrics.h"
 #include "runtime/pool.h"
 
 namespace dgr {
 
+namespace obs {
+class TraceBuffer;
+}
+
 // Sorted-order acquisition of per-vertex spinlocks; RAII release.
 class VertexLocks;
 
+// Aggregate counter view over the per-PE obs::MetricsRegistry (see
+// metrics_registry() for the per-PE breakdowns and histograms).
 struct ThreadEngineStats {
   std::uint64_t tasks_executed = 0;
   std::uint64_t remote_messages = 0;
   std::uint64_t local_messages = 0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t mailbox_high_water = 0;  // deepest mailbox backlog seen
 };
 
 class ThreadEngine final : public TaskSink, public EngineHooks {
@@ -89,6 +98,15 @@ class ThreadEngine final : public TaskSink, public EngineHooks {
                   const std::function<void()>& fn);
 
   ThreadEngineStats stats() const;
+  // Per-PE counters and histograms.
+  obs::MetricsRegistry& metrics_registry() { return reg_; }
+  const obs::MetricsRegistry& metrics_registry() const { return reg_; }
+
+  // Start capturing a structured trace (ring buffer; oldest dropped).
+  // Timestamps are µs since engine construction. Returns nullptr when
+  // tracing is compiled out (-DDGR_TRACE=OFF). Call before start().
+  obs::TraceBuffer* enable_trace(std::size_t capacity = 1 << 14);
+  obs::TraceBuffer* trace() { return trace_.get(); }
 
  private:
   friend class VertexLocks;
@@ -122,10 +140,9 @@ class ThreadEngine final : public TaskSink, public EngineHooks {
   std::atomic<std::uint32_t> parked_{0};
   std::atomic_flag restructure_claim_ = ATOMIC_FLAG_INIT;
 
-  mutable std::atomic<std::uint64_t> tasks_executed_{0};
-  std::atomic<std::uint64_t> remote_msgs_{0};
-  std::atomic<std::uint64_t> local_msgs_{0};
-  std::atomic<std::uint64_t> bytes_{0};
+  obs::MetricsRegistry reg_;
+  std::unique_ptr<obs::TraceBuffer> trace_;
+  std::chrono::steady_clock::time_point t0_;
 };
 
 }  // namespace dgr
