@@ -187,7 +187,5 @@ BENCHMARK(BM_AblationCoopOn)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   dgr::bench::table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dgr::bench::run_bench_main("ablation", argc, argv);
 }

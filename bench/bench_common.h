@@ -8,7 +8,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "graph/builder.h"
 #include "graph/oracle.h"
@@ -85,6 +88,90 @@ inline void report_phase_counters(benchmark::State& state, SimEngine& eng) {
   state.counters["swept"] = double(c.swept);
   state.counters["expunged"] = double(c.expunged);
   report_obs_counters(state, eng.metrics_registry());
+}
+
+// Machine-readable results: every bench binary writes BENCH_<name>.json next
+// to its console output (schema documented in docs/OBSERVABILITY.md). One
+// entry per measured run: the full benchmark name (params are encoded in it,
+// e.g. "BM_MarkCycle/8"), iteration count, adjusted real/cpu time in the
+// bench's time unit, and every user counter the bench attached (the obs
+// registry totals from report_obs_counters / report_phase_counters).
+// Subclasses ConsoleReporter so one reporter both prints the usual table and
+// collects the JSON (the library rejects a standalone file reporter unless
+// --benchmark_out is also given).
+class JsonBenchReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonBenchReporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& r : runs) {
+      if (r.run_type == Run::RT_Aggregate) continue;  // keep raw runs only
+      std::string e = "    {\"name\":\"";
+      e += json_escape(r.benchmark_name());
+      e += "\",\"iterations\":";
+      e += std::to_string(static_cast<long long>(r.iterations));
+      e += ",\"real_time\":";
+      e += num(r.GetAdjustedRealTime());
+      e += ",\"cpu_time\":";
+      e += num(r.GetAdjustedCPUTime());
+      e += ",\"time_unit\":\"";
+      e += benchmark::GetTimeUnitString(r.time_unit);
+      e += "\",\"error\":";
+      e += r.error_occurred ? "true" : "false";
+      e += ",\"counters\":{";
+      bool first = true;
+      for (const auto& [name, c] : r.counters) {
+        if (!first) e += ',';
+        first = false;
+        e += '"';
+        e += json_escape(name);
+        e += "\":";
+        e += num(static_cast<double>(c));
+      }
+      e += "}}";
+      entries_.push_back(std::move(e));
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    std::ofstream f("BENCH_" + bench_name_ + ".json",
+                    std::ios::binary | std::ios::trunc);
+    if (!f) return;
+    f << "{\n  \"bench\": \"" << json_escape(bench_name_)
+      << "\",\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+      f << entries_[i] << (i + 1 < entries_.size() ? ",\n" : "\n");
+    f << "  ]\n}\n";
+  }
+
+ private:
+  static std::string num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+  static std::string json_escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::vector<std::string> entries_;
+};
+
+// Shared main: console output as usual plus the BENCH_<name>.json artifact.
+inline int run_bench_main(const char* name, int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  JsonBenchReporter reporter(name);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
 }
 
 }  // namespace dgr::bench

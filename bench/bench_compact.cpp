@@ -112,7 +112,5 @@ BENCHMARK(BM_CompactCycle)->Arg(10000)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   dgr::bench::table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dgr::bench::run_bench_main("compact", argc, argv);
 }

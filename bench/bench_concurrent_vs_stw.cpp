@@ -146,7 +146,5 @@ BENCHMARK(BM_StwRun)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   dgr::bench::table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dgr::bench::run_bench_main("concurrent_vs_stw", argc, argv);
 }

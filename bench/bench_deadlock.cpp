@@ -129,7 +129,5 @@ BENCHMARK(BM_CycleWithoutMt)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   dgr::bench::table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dgr::bench::run_bench_main("deadlock", argc, argv);
 }

@@ -85,7 +85,5 @@ BENCHMARK(BM_FibContinuousGc)->Arg(2)->Arg(8)->Arg(32)
 
 int main(int argc, char** argv) {
   dgr::bench::table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dgr::bench::run_bench_main("interference", argc, argv);
 }

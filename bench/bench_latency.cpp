@@ -107,7 +107,5 @@ BENCHMARK(BM_MarkCycleLatency)->Arg(0)->Arg(8)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   dgr::bench::table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dgr::bench::run_bench_main("latency", argc, argv);
 }

@@ -93,7 +93,5 @@ BENCHMARK(BM_OwnerLocal)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   dgr::bench::table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dgr::bench::run_bench_main("locality", argc, argv);
 }

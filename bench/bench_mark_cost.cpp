@@ -106,7 +106,5 @@ BENCHMARK(BM_CycleByFamily)->Arg(8)->Arg(12)->Arg(16)
 
 int main(int argc, char** argv) {
   dgr::bench::table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dgr::bench::run_bench_main("mark_cost", argc, argv);
 }

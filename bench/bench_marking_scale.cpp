@@ -110,7 +110,5 @@ BENCHMARK(BM_SimCycleSteps)->Arg(1000)->Arg(10000)->Arg(100000)
 
 int main(int argc, char** argv) {
   dgr::bench::table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dgr::bench::run_bench_main("marking_scale", argc, argv);
 }

@@ -99,7 +99,5 @@ BENCHMARK(BM_UpgradeCycle)->Arg(64)->Arg(512)->Arg(4096)
 
 int main(int argc, char** argv) {
   dgr::bench::table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dgr::bench::run_bench_main("priority", argc, argv);
 }

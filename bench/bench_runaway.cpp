@@ -85,7 +85,5 @@ BENCHMARK(BM_ContainRunaway)->Arg(1000)->Arg(50000)
 
 int main(int argc, char** argv) {
   dgr::bench::table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dgr::bench::run_bench_main("runaway", argc, argv);
 }

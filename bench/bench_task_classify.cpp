@@ -91,7 +91,5 @@ BENCHMARK(BM_ClassifyCycle)->Arg(1000)->Arg(10000)
 
 int main(int argc, char** argv) {
   dgr::bench::table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dgr::bench::run_bench_main("task_classify", argc, argv);
 }

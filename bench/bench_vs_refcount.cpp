@@ -150,7 +150,5 @@ BENCHMARK(BM_RefcountChurn)->Arg(0)->Arg(50)->Arg(100)
 
 int main(int argc, char** argv) {
   dgr::bench::table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dgr::bench::run_bench_main("vs_refcount", argc, argv);
 }

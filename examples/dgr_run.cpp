@@ -17,6 +17,17 @@
 //                    chrome://tracing or https://ui.perfetto.dev)
 //   --trace-jsonl FILE  write the raw trace as deterministic JSONL
 //   --metrics FILE   write the per-PE metrics registry as JSON
+//   --audit N        online health auditing: paranoid sweep cross-checks
+//                    during evaluation (implies --gc), then a post-evaluation
+//                    ThreadEngine phase over the evaluated graph running
+//                    safe-point audits (§5.4.1 invariants + Property 1
+//                    accounting) every Nth cycle, with the stall watchdog
+//                    armed
+//   --audit-cycles K number of threaded audit cycles to run (default 50)
+//   --health-fatal   exit nonzero if any audit violation or health warning
+//                    was recorded (CI hook)
+//   --wedge-steps N  with --gc: declare evaluation wedged after N sim steps
+//                    of zero reduction progress (default 200000)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,6 +39,7 @@
 #include "obs/trace.h"
 #include "reduction/machine.h"
 #include "runtime/sim_engine.h"
+#include "runtime/thread_engine.h"
 
 namespace {
 
@@ -65,6 +77,10 @@ int main(int argc, char** argv) {
   std::uint32_t pes = 4;
   std::uint64_t seed = 1;
   bool speculate = false, gc = false, detect = false, stats = false;
+  bool health_fatal = false;
+  std::uint32_t audit_period = 0;
+  std::uint32_t audit_cycles = 50;
+  std::uint64_t wedge_steps = 200000;
   std::uint32_t latency = 0;
   const char* trace_path = nullptr;
   const char* jsonl_path = nullptr;
@@ -92,6 +108,15 @@ int main(int argc, char** argv) {
       detect = true;
     } else if (!std::strcmp(argv[i], "--stats")) {
       stats = true;
+    } else if (!std::strcmp(argv[i], "--audit") && i + 1 < argc) {
+      audit_period = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+      gc = true;  // auditing is about the marking cycles
+    } else if (!std::strcmp(argv[i], "--audit-cycles") && i + 1 < argc) {
+      audit_cycles = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--health-fatal")) {
+      health_fatal = true;
+    } else if (!std::strcmp(argv[i], "--wedge-steps") && i + 1 < argc) {
+      wedge_steps = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (argv[i][0] != '-' || !std::strcmp(argv[i], "-")) {
       path = argv[i];
     } else {
@@ -103,7 +128,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: dgr_run [--pes N] [--seed S] [--speculate] [--gc] "
                  "[--detect-deadlock] [--stats] [--trace FILE] "
-                 "[--trace-jsonl FILE] [--metrics FILE] <file|->\n");
+                 "[--trace-jsonl FILE] [--metrics FILE] [--audit N] "
+                 "[--audit-cycles K] [--health-fatal] <file|->\n");
     return 2;
   }
 #if !DGR_TRACE_ENABLED
@@ -135,6 +161,7 @@ int main(int argc, char** argv) {
   engine.set_root(root);
   engine.set_reducer([&](const Task& t) { machine->exec(t); });
   if (trace_path || jsonl_path) engine.enable_trace();
+  if (audit_period) engine.controller().set_paranoid_sweep_check(true);
   if (gc) {
     // With --detect-deadlock, every continuous cycle runs M_T before M_R
     // (deadlock detection per cycle); otherwise cycles are M_R-only.
@@ -143,8 +170,21 @@ int main(int argc, char** argv) {
     engine.controller().start_cycle(copt);
   }
   machine->demand(root);
+  // With continuous GC the engine always has marking work, so step() alone
+  // cannot signal a wedged evaluation. Track reduction progress: if the
+  // machine does nothing for a long window while only the collector steps,
+  // the computation is wedged (same deterministic break point per seed).
+  std::uint64_t last_work = 0, quiet_steps = 0;
   while (!machine->result_of(root).has_value()) {
     if (!engine.step()) break;
+    if (gc) {
+      const MachineStats& ms = machine->stats();
+      const std::uint64_t work =
+          ms.requests + ms.returns + ms.evals + ms.instantiations;
+      quiet_steps = work == last_work ? quiet_steps + 1 : 0;
+      last_work = work;
+      if (quiet_steps > wedge_steps) break;
+    }
   }
   engine.controller().set_continuous(false);
   engine.run();
@@ -190,5 +230,51 @@ int main(int argc, char** argv) {
 #endif
   if (metrics_path)
     write_file(metrics_path, engine.metrics_registry().to_json() + "\n");
+
+  if (audit_period) {
+    // Post-evaluation auditing phase: hand the evaluated graph to the
+    // threaded engine and run continuous marking cycles over it with
+    // safe-point audits every `audit_period` cycles and the stall watchdog
+    // armed. The first cycle sweeps whatever garbage evaluation left; later
+    // cycles exercise the steady state (§5.4.1 invariants must hold at every
+    // quiesce point, and each sweep must free exactly GAR' — Property 1).
+    for (PeId pe = 0; pe < graph.num_pes(); ++pe) graph.store(pe).taskroot();
+    ThreadEngine teng(graph);
+    teng.set_root(root);
+    teng.controller().prewarm_aux_roots();
+    // Slot vectors must never reallocate under the PE threads; everything
+    // the audit cycles need was just pre-allocated.
+    for (PeId pe = 0; pe < graph.num_pes(); ++pe)
+      graph.store(pe).set_fixed_capacity(true);
+    // Epoch hand-off: the sim marker left per-vertex tags on this graph; a
+    // fresh marker restarting at epoch 1 would alias them as current.
+    teng.marker().seed_epoch(Plane::kR, engine.marker().epoch(Plane::kR));
+    teng.marker().seed_epoch(Plane::kT, engine.marker().epoch(Plane::kT));
+    AuditOptions aopt;
+    aopt.period = audit_period;
+    teng.enable_audit(aopt);
+    teng.enable_watchdog();
+    teng.start();
+    for (std::uint32_t i = 0; i < audit_cycles; ++i) {
+      teng.controller().start_cycle(CycleOptions{detect});
+      teng.wait_cycle_done();
+    }
+    teng.stop();
+    const AuditStats& as = teng.audit_stats();
+    const HealthReport hr = teng.health();
+    std::printf("# audit: %llu safe-point audits, %llu violations; "
+                "health: %llu warnings\n",
+                (unsigned long long)as.audits,
+                (unsigned long long)as.violations,
+                (unsigned long long)hr.total());
+    if (as.violations)
+      std::printf("# last audit violation: %s\n", as.last_what.c_str());
+    for (std::size_t k = 0; k < obs::kNumHealthKinds; ++k)
+      if (hr.warnings[k])
+        std::printf("# health warning: %s x%llu\n",
+                    obs::health_kind_name(static_cast<obs::HealthKind>(k)),
+                    (unsigned long long)hr.warnings[k]);
+    if (health_fatal && (as.violations || hr.total())) rc = rc ? rc : 4;
+  }
   return rc;
 }

@@ -26,11 +26,18 @@ VertexId Controller::marking_root() {
   return uroot_;
 }
 
+void Controller::prewarm_aux_roots() {
+  for (PeId pe = 0; pe < g_.num_pes(); ++pe) g_.store(pe).taskroot();
+  if (!troot_.valid()) troot_ = g_.store(0).make_aux(OpCode::kTRoot);
+  if (roots_.size() > 1 && !uroot_.valid())
+    uroot_ = g_.store(0).make_aux(OpCode::kTRoot);
+}
+
 void Controller::start_cycle(const CycleOptions& opt) {
   DGR_CHECK_MSG(phase_ == Phase::kIdle, "marking cycle already in progress");
   opt_ = opt;
   cur_ = CycleResult{};
-  cur_.cycle = cycles_ + 1;
+  cur_.cycle = cycles_completed() + 1;
   DGR_TRACE_EVENT(trace_, obs::EventType::kCycleStart, Plane::kR, 0,
                   cur_.cycle, roots_.size());
   if (opt_.detect_deadlock) {
@@ -153,9 +160,15 @@ void Controller::restructure() {
     const Vertex& vx = g_.at(v);
     return vx.live && !vx.aux && !marker_.is_marked(Plane::kR, v);
   };
-  if (cur_.deadlock_report_valid)
+  if (cur_.deadlock_report_valid) {
     DGR_TRACE_EVENT(trace_, obs::EventType::kDeadlockReport, Plane::kT, 0,
                     cur_.cycle, cur_.deadlocked.size());
+    // Evidence chain for the post-mortem analyzer: name each DL'_v member
+    // (requested in R' yet unreachable from any task — Theorem 2).
+    for (VertexId v : cur_.deadlocked)
+      DGR_TRACE_EVENT(trace_, obs::EventType::kDeadlockVertex, Plane::kT,
+                      v.pe, cur_.cycle, v.idx);
+  }
 
   cur_.expunged = hooks_.expunge_tasks(
       [&](const Task& t) { return in_gar(t.d); });
@@ -216,7 +229,7 @@ void Controller::restructure() {
   marker_.end(Plane::kR);
   if (cur_.ran_mt) marker_.end(Plane::kT);
 
-  ++cycles_;
+  cycles_.fetch_add(1, std::memory_order_acq_rel);
   total_swept_ += cur_.swept;
   total_expunged_ += cur_.expunged;
   DGR_TRACE_EVENT(trace_, obs::EventType::kCycleEnd, Plane::kR, 0, cur_.cycle,

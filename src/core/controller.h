@@ -120,13 +120,22 @@ class Controller {
   // per cycle); aborts on the first reachable vertex about to be freed.
   void set_paranoid_sweep_check(bool on) { paranoid_ = on; }
 
+  // Create the auxiliary roots (per-PE taskroots, troot, uroot) up front.
+  // The threaded engine needs this before start(): aux roots are otherwise
+  // allocated lazily during the first cycle, and growing a store's slot
+  // vector while PE threads read it would be a reallocation race.
+  void prewarm_aux_roots();
+
   // Observability: emit cycle / phase / restructuring events into `t`
   // (nullptr disables). Engines wire this together with the marker's and
   // mutator's sinks via enable_trace().
   void set_trace(obs::TraceBuffer* t) { trace_ = t; }
 
   const CycleResult& last() const { return last_; }
-  std::uint64_t cycles_completed() const { return cycles_; }
+  // Atomic: sampled by the ThreadEngine watchdog while cycles run.
+  std::uint64_t cycles_completed() const {
+    return cycles_.load(std::memory_order_acquire);
+  }
   std::uint64_t total_swept() const { return total_swept_; }
   std::uint64_t total_expunged() const { return total_expunged_; }
 
@@ -159,7 +168,7 @@ class Controller {
   obs::TraceBuffer* trace_ = nullptr;
   CycleResult last_;
   CycleResult cur_;
-  std::uint64_t cycles_ = 0;
+  std::atomic<std::uint64_t> cycles_{0};
   std::uint64_t total_swept_ = 0;
   std::uint64_t total_expunged_ = 0;
 };

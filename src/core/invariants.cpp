@@ -123,4 +123,56 @@ InvariantReport check_marking_invariants(const Graph& g, const Marker& marker,
   return rep;
 }
 
+AccountingReport check_heap_accounting(const Graph& g, const Marker& marker) {
+  AccountingReport rep;
+  auto fail = [&](const std::string& what) {
+    if (!rep.ok) return;
+    rep.ok = false;
+    rep.what = "heap accounting violated: " + what;
+  };
+
+  for (PeId pe = 0; pe < g.num_pes(); ++pe) {
+    const Store& s = g.store(pe);
+    std::size_t scanned_free = 0;
+    for (std::uint32_t i = 0; i < s.capacity(); ++i) {
+      const VertexId v = s.id(i);
+      if (s.is_free(i)) {
+        ++scanned_free;
+        // R ∩ F = ∅: a slot on the free list must not be marked in the
+        // current epoch of an active plane (it would mean a reachable vertex
+        // was swept, the exact failure Property 1 exists to prevent).
+        for (const Plane plane : {Plane::kR, Plane::kT}) {
+          if (marker.active(plane) && !marker.is_unmarked(plane, v))
+            fail("free slot " + vid_str(v) + " carries a current " +
+                 (plane == Plane::kR ? std::string("R") : std::string("T")) +
+                 "-plane mark");
+        }
+        continue;
+      }
+      const Vertex& vx = s.at(i);
+      if (vx.aux) continue;  // aux roots are outside V
+      ++rep.live;
+      if (marker.is_marked(Plane::kR, v)) {
+        ++rep.marked;
+      } else {
+        ++rep.gar;
+      }
+    }
+    rep.free += s.free_count();
+    if (scanned_free != s.free_count())
+      fail("store " + std::to_string(pe) + " free-list count " +
+           std::to_string(s.free_count()) + " != scanned free slots " +
+           std::to_string(scanned_free));
+    if (s.live_count() + s.free_count() != s.capacity())
+      fail("store " + std::to_string(pe) + " live+free != capacity");
+  }
+  // The partition identity GAR = V − R − F, with V = live + free non-aux
+  // slots, R the marked live set and F the free list.
+  const std::size_t v_total = rep.live + rep.free;
+  if (rep.gar != v_total - rep.marked - rep.free)
+    fail("GAR " + std::to_string(rep.gar) + " != V-R-F " +
+         std::to_string(v_total - rep.marked - rep.free));
+  return rep;
+}
+
 }  // namespace dgr

@@ -29,4 +29,24 @@ InvariantReport check_marking_invariants(const Graph& g, const Marker& marker,
                                          Plane plane,
                                          const std::vector<Task>& pending);
 
+// Property 1 accounting (GAR = V − R − F): verifies that the store partition
+// the sweep relies on is intact at a safe point where M_R has terminated but
+// restructuring has not yet consumed the marks:
+//   - per-store slot accounting: capacity = live + free, and the free count
+//     agrees with a direct scan of the slots;
+//   - R ∩ F = ∅: no free slot carries a current-epoch R mark (a marked
+//     vertex was never swept);
+//   - `gar` is |{v live ∧ ¬aux ∧ ¬marked_R}|, the set the sweep must free —
+//     callers cross-check it against CycleResult::swept after restructuring.
+struct AccountingReport {
+  bool ok = true;
+  std::string what;
+  std::size_t gar = 0;
+  std::size_t live = 0;
+  std::size_t free = 0;
+  std::size_t marked = 0;
+};
+
+AccountingReport check_heap_accounting(const Graph& g, const Marker& marker);
+
 }  // namespace dgr

@@ -78,6 +78,15 @@ class Marker {
   }
   std::uint64_t epoch(Plane plane) const { return st(plane).epoch; }
 
+  // Engine hand-off: start this marker's epochs at `e`, above any stale
+  // per-vertex tags a previous Marker left on the same graph (a fresh marker
+  // restarting at epoch 1 would otherwise mistake a cycle-1 tag from the old
+  // marker for current state). Only legal while the plane is inactive.
+  void seed_epoch(Plane plane, std::uint64_t e) {
+    DGR_CHECK_MSG(!st(plane).active, "seed_epoch during an active plane");
+    st(plane).epoch = e;
+  }
+
   // Invoked by the engine when the phase's done flag is raised.
   void set_done_callback(std::function<void(Plane)> cb) { done_cb_ = std::move(cb); }
 
@@ -148,8 +157,9 @@ class Marker {
   bool is_rescue_queued(Plane plane, VertexId v) const;
   // Returns true if a supplementary wave was launched (plane reopened).
   bool launch_rescue_wave(Plane plane);
+  // Atomic so the ThreadEngine watchdog can sample it concurrently.
   std::uint64_t rescue_waves(Plane plane) const {
-    return st(plane).rescue_waves;
+    return st(plane).rescue_waves.load(std::memory_order_relaxed);
   }
 
   const MarkStats& stats(Plane plane) const { return st(plane).stats; }
@@ -168,7 +178,7 @@ class Marker {
     MarkStats stats;
     std::vector<std::pair<VertexId, std::uint8_t>> rescue_q;
     VertexId rescue_root = VertexId::invalid();
-    std::uint64_t rescue_waves = 0;
+    std::atomic<std::uint64_t> rescue_waves{0};
   };
 
   PlaneState& st(Plane p) { return state_[static_cast<int>(p)]; }

@@ -1,0 +1,562 @@
+#include "obs/analyze.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+#include "util/stats.h"
+
+namespace dgr::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)v);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t v,
+               bool comma = true) {
+  out += '"';
+  out += key;
+  out += "\":";
+  append_u64(out, v);
+  if (comma) out += ',';
+}
+
+WaveLatency summarize(const Histogram& h) {
+  WaveLatency w;
+  w.samples = h.count();
+  w.p50 = h.p50();
+  w.p99 = h.p99();
+  w.max = h.max_value();
+  return w;
+}
+
+// Per-cycle scratch the scanner keeps while the cycle is open: which PEs have
+// already contributed a wave_front sample this cycle (first-sample latency
+// and participation are both per-cycle-per-PE firsts).
+struct OpenCycle {
+  std::size_t index = 0;  // into TraceReport::cycles
+  std::vector<bool> seen_r;
+  std::vector<bool> seen_t;
+  std::vector<bool> participated;
+};
+
+}  // namespace
+
+TraceReport analyze(const std::vector<TraceEvent>& events) {
+  TraceReport rep;
+  rep.events = events.size();
+  for (const TraceEvent& e : events)
+    rep.num_pes = std::max<std::uint32_t>(rep.num_pes, e.pe + 1u);
+  rep.pes.resize(rep.num_pes);
+  for (std::uint32_t pe = 0; pe < rep.num_pes; ++pe)
+    rep.pes[pe].pe = static_cast<std::uint16_t>(pe);
+
+  std::unordered_map<std::uint64_t, std::size_t> cycle_index;
+  auto cycle_at = [&](std::uint64_t cycle) -> CycleReport& {
+    auto it = cycle_index.find(cycle);
+    if (it == cycle_index.end()) {
+      it = cycle_index.emplace(cycle, rep.cycles.size()).first;
+      rep.cycles.emplace_back().cycle = cycle;
+    }
+    return rep.cycles[it->second];
+  };
+
+  // Marker- and mutator-emitted events (wave_front, rescue_queued) carry
+  // cycle 0 — those layers do not know the cycle number. The scanner scopes
+  // them to the cycle open at that point of the stream.
+  OpenCycle open;
+  bool has_open = false;
+  auto ensure_pe = [&](std::uint16_t pe) -> PeLoad& { return rep.pes[pe]; };
+  auto scoped_cycle = [&](const TraceEvent& e) -> CycleReport* {
+    if (e.cycle != 0) return &cycle_at(e.cycle);
+    if (has_open) return &rep.cycles[open.index];
+    return nullptr;  // pre-cycle / post-wrap event; totals still counted
+  };
+
+  Histogram lat_r, lat_t;
+
+  for (const TraceEvent& e : events) {
+    switch (e.type) {
+      case EventType::kCycleStart: {
+        CycleReport& c = cycle_at(e.cycle);
+        c.start_ts = e.ts;
+        open = OpenCycle{};
+        open.index = cycle_index[e.cycle];
+        open.seen_r.assign(rep.num_pes, false);
+        open.seen_t.assign(rep.num_pes, false);
+        open.participated.assign(rep.num_pes, false);
+        has_open = true;
+        break;
+      }
+      case EventType::kPhaseBegin: {
+        if (CycleReport* c = scoped_cycle(e)) {
+          PhaseReport& p = e.plane == Plane::kT ? c->mt : c->mr;
+          p.ran = true;
+          p.begin_ts = e.ts;
+        }
+        break;
+      }
+      case EventType::kPhaseEnd: {
+        if (CycleReport* c = scoped_cycle(e)) {
+          PhaseReport& p = e.plane == Plane::kT ? c->mt : c->mr;
+          p.ran = true;
+          p.finished = true;
+          p.end_ts = e.ts;
+          p.marks = e.a;
+          p.returns = e.b;
+        }
+        break;
+      }
+      case EventType::kWaveFront: {
+        PeLoad& pl = ensure_pe(e.pe);
+        (e.plane == Plane::kT ? pl.wave_samples_t : pl.wave_samples_r)++;
+        if (!has_open) break;
+        CycleReport& c = rep.cycles[open.index];
+        if (!open.participated[e.pe]) {
+          open.participated[e.pe] = true;
+          ++pl.cycles_participated;
+        }
+        std::vector<bool>& seen =
+            e.plane == Plane::kT ? open.seen_t : open.seen_r;
+        if (!seen[e.pe]) {
+          seen[e.pe] = true;
+          const PhaseReport& p = e.plane == Plane::kT ? c.mt : c.mr;
+          if (p.ran && e.ts >= p.begin_ts) {
+            (e.plane == Plane::kT ? lat_t : lat_r)
+                .add(static_cast<double>(e.ts - p.begin_ts));
+          }
+        }
+        break;
+      }
+      case EventType::kRescueWave: {
+        if (CycleReport* c = scoped_cycle(e)) ++c->rescue_waves;
+        break;
+      }
+      case EventType::kRescueQueued: {
+        ++ensure_pe(e.pe).rescue_queued;
+        if (CycleReport* c = scoped_cycle(e)) ++c->rescue_queued;
+        break;
+      }
+      case EventType::kCoopTaint: {
+        ++ensure_pe(e.pe).coop_taints;
+        if (CycleReport* c = scoped_cycle(e)) ++c->coop_taints;
+        break;
+      }
+      case EventType::kSweep: {
+        if (CycleReport* c = scoped_cycle(e)) c->swept = e.a;
+        break;
+      }
+      case EventType::kExpunge: {
+        if (CycleReport* c = scoped_cycle(e)) c->expunged = e.a;
+        break;
+      }
+      case EventType::kReprioritize: {
+        if (CycleReport* c = scoped_cycle(e)) c->reprioritized = e.a;
+        break;
+      }
+      case EventType::kDeadlockReport: {
+        if (CycleReport* c = scoped_cycle(e)) {
+          c->deadlock_report = true;
+          c->deadlocked_count = e.a;
+        }
+        if (e.a > 0) {
+          DeadlockPostMortem& pm = rep.deadlocks.emplace_back();
+          pm.cycle = e.cycle;
+          pm.report_ts = e.ts;
+          pm.count = e.a;
+        }
+        break;
+      }
+      case EventType::kDeadlockVertex: {
+        // Evidence chain member: restructuring named this vertex as
+        // DL'_v = R'_v − T'. Emitted right after its cycle's report.
+        if (!rep.deadlocks.empty() &&
+            rep.deadlocks.back().cycle == e.cycle) {
+          rep.deadlocks.back().vertices.emplace_back(e.pe, e.a);
+        }
+        break;
+      }
+      case EventType::kCycleEnd: {
+        CycleReport& c = cycle_at(e.cycle);
+        c.complete = true;
+        c.end_ts = e.ts;
+        ++rep.complete_cycles;
+        has_open = false;
+        break;
+      }
+      case EventType::kAudit: {
+        rep.audits += 1;
+        rep.audit_violations += e.a;
+        if (CycleReport* c = scoped_cycle(e)) {
+          ++c->audits;
+          c->audit_violations += e.a;
+        }
+        break;
+      }
+      case EventType::kHealthWarning: {
+        if (e.a < kNumHealthKinds) ++rep.health_warnings[e.a];
+        ++ensure_pe(e.pe).health_warnings;
+        if (CycleReport* c = scoped_cycle(e)) ++c->health_warnings;
+        break;
+      }
+      case EventType::kCount_:
+        break;
+    }
+  }
+
+  // Post-pass: work share, idle fraction, wave-latency summaries, and the
+  // marks/returns evidence in each deadlock post-mortem (the phase totals
+  // are only known once the cycle's phase_end events have been scanned).
+  std::uint64_t total_samples = 0;
+  for (const PeLoad& p : rep.pes)
+    total_samples += p.wave_samples_r + p.wave_samples_t;
+  const std::uint64_t denom =
+      rep.complete_cycles ? rep.complete_cycles : rep.cycles.size();
+  for (PeLoad& p : rep.pes) {
+    if (total_samples)
+      p.work_share =
+          static_cast<double>(p.wave_samples_r + p.wave_samples_t) /
+          static_cast<double>(total_samples);
+    if (denom) {
+      const std::uint64_t took = std::min<std::uint64_t>(
+          p.cycles_participated, denom);
+      p.idle_fraction =
+          1.0 - static_cast<double>(took) / static_cast<double>(denom);
+    }
+  }
+  rep.wave_r = summarize(lat_r);
+  rep.wave_t = summarize(lat_t);
+  for (DeadlockPostMortem& pm : rep.deadlocks) {
+    auto it = cycle_index.find(pm.cycle);
+    if (it == cycle_index.end()) continue;
+    const CycleReport& c = rep.cycles[it->second];
+    pm.mt_marks = c.mt.marks;
+    pm.mt_returns = c.mt.returns;
+    pm.mr_marks = c.mr.marks;
+    pm.mr_returns = c.mr.returns;
+  }
+  return rep;
+}
+
+namespace {
+
+// Minimal scanners for the fixed MetricsRegistry::to_json layout (flat keys,
+// deterministic order — same contract from_jsonl relies on).
+bool scan_u64_after(const std::string& s, std::size_t from, const char* key,
+                    std::uint64_t* out) {
+  const std::size_t k = s.find(key, from);
+  if (k == std::string::npos) return false;
+  const char* p = s.c_str() + k + std::strlen(key);
+  char* end = nullptr;
+  *out = std::strtoull(p, &end, 10);
+  return end != p;
+}
+
+bool scan_double_after(const std::string& s, std::size_t from, const char* key,
+                       double* out) {
+  const std::size_t k = s.find(key, from);
+  if (k == std::string::npos) return false;
+  const char* p = s.c_str() + k + std::strlen(key);
+  char* end = nullptr;
+  *out = std::strtod(p, &end);
+  return end != p;
+}
+
+}  // namespace
+
+bool enrich_with_metrics_json(TraceReport& report, const std::string& json) {
+  std::uint64_t num_pes = 0;
+  if (!scan_u64_after(json, 0, "\"num_pes\":", &num_pes) || num_pes == 0)
+    return false;
+  const std::size_t pes_at = json.find("\"pes\":[");
+  if (pes_at == std::string::npos) return false;
+  if (report.pes.size() < num_pes) {
+    const std::size_t old = report.pes.size();
+    report.pes.resize(num_pes);
+    for (std::size_t i = old; i < num_pes; ++i)
+      report.pes[i].pe = static_cast<std::uint16_t>(i);
+    report.num_pes = static_cast<std::uint32_t>(num_pes);
+  }
+  std::size_t pos = pes_at;
+  for (std::uint64_t pe = 0; pe < num_pes; ++pe) {
+    char anchor[32];
+    std::snprintf(anchor, sizeof(anchor), "{\"pe\":%llu,",
+                  (unsigned long long)pe);
+    const std::size_t at = json.find(anchor, pos);
+    if (at == std::string::npos) return false;
+    PeLoad& p = report.pes[pe];
+    scan_u64_after(json, at, "\"mark_tasks\":", &p.mark_tasks);
+    scan_u64_after(json, at, "\"return_tasks\":", &p.return_tasks);
+    // The deepest mailbox/queue backlog the PE ever serviced.
+    const std::size_t h = json.find("\"mark_queue_depth\":", at);
+    if (h != std::string::npos) {
+      double max_depth = 0.0;
+      if (scan_double_after(json, h, "\"max\":", &max_depth))
+        p.mailbox_high_water = static_cast<std::uint64_t>(max_depth);
+    }
+    pos = at + 1;
+  }
+  report.metrics_enriched = true;
+  return true;
+}
+
+std::string report_to_json(const TraceReport& r) {
+  std::string out = "{";
+  append_kv(out, "events", r.events);
+  append_kv(out, "num_pes", r.num_pes);
+  out += "\"metrics_enriched\":";
+  out += r.metrics_enriched ? "true," : "false,";
+  append_kv(out, "complete_cycles", r.complete_cycles);
+  append_kv(out, "audits", r.audits);
+  append_kv(out, "audit_violations", r.audit_violations);
+  out += "\"health_warnings\":{";
+  for (std::size_t i = 0; i < kNumHealthKinds; ++i) {
+    if (i) out += ',';
+    out += '"';
+    out += health_kind_name(static_cast<HealthKind>(i));
+    out += "\":";
+    append_u64(out, r.health_warnings[i]);
+  }
+  out += "},\"cycles\":[";
+  for (std::size_t i = 0; i < r.cycles.size(); ++i) {
+    const CycleReport& c = r.cycles[i];
+    if (i) out += ',';
+    out += '{';
+    append_kv(out, "cycle", c.cycle);
+    out += "\"complete\":";
+    out += c.complete ? "true," : "false,";
+    append_kv(out, "start_ts", c.start_ts);
+    append_kv(out, "end_ts", c.end_ts);
+    append_kv(out, "duration", c.duration());
+    for (const auto& pr : {std::pair<const char*, const PhaseReport*>{
+                               "mt", &c.mt},
+                           {"mr", &c.mr}}) {
+      out += '"';
+      out += pr.first;
+      out += "\":{\"ran\":";
+      out += pr.second->ran ? "true," : "false,";
+      append_kv(out, "begin_ts", pr.second->begin_ts);
+      append_kv(out, "end_ts", pr.second->end_ts);
+      append_kv(out, "duration", pr.second->duration());
+      append_kv(out, "marks", pr.second->marks);
+      append_kv(out, "returns", pr.second->returns, false);
+      out += "},";
+    }
+    append_kv(out, "rescue_waves", c.rescue_waves);
+    append_kv(out, "rescue_queued", c.rescue_queued);
+    append_kv(out, "coop_taints", c.coop_taints);
+    append_kv(out, "swept", c.swept);
+    append_kv(out, "expunged", c.expunged);
+    append_kv(out, "reprioritized", c.reprioritized);
+    out += "\"deadlock_report\":";
+    out += c.deadlock_report ? "true," : "false,";
+    append_kv(out, "deadlocked", c.deadlocked_count);
+    append_kv(out, "audits", c.audits);
+    append_kv(out, "audit_violations", c.audit_violations);
+    append_kv(out, "health_warnings", c.health_warnings, false);
+    out += '}';
+  }
+  out += "],\"pes\":[";
+  for (std::size_t i = 0; i < r.pes.size(); ++i) {
+    const PeLoad& p = r.pes[i];
+    if (i) out += ',';
+    out += '{';
+    append_kv(out, "pe", p.pe);
+    append_kv(out, "wave_samples_r", p.wave_samples_r);
+    append_kv(out, "wave_samples_t", p.wave_samples_t);
+    out += "\"work_share\":";
+    append_double(out, p.work_share);
+    out += ',';
+    append_kv(out, "cycles_participated", p.cycles_participated);
+    out += "\"idle_fraction\":";
+    append_double(out, p.idle_fraction);
+    out += ',';
+    append_kv(out, "rescue_queued", p.rescue_queued);
+    append_kv(out, "coop_taints", p.coop_taints);
+    append_kv(out, "health_warnings", p.health_warnings);
+    append_kv(out, "mark_tasks", p.mark_tasks);
+    append_kv(out, "return_tasks", p.return_tasks);
+    append_kv(out, "mailbox_high_water", p.mailbox_high_water, false);
+    out += '}';
+  }
+  out += "],";
+  for (const auto& wl : {std::pair<const char*, const WaveLatency*>{
+                             "wave_latency_r", &r.wave_r},
+                         {"wave_latency_t", &r.wave_t}}) {
+    out += '"';
+    out += wl.first;
+    out += "\":{";
+    append_kv(out, "samples", wl.second->samples);
+    out += "\"p50\":";
+    append_double(out, wl.second->p50);
+    out += ",\"p99\":";
+    append_double(out, wl.second->p99);
+    out += ",\"max\":";
+    append_double(out, wl.second->max);
+    out += "},";
+  }
+  out += "\"deadlocks\":[";
+  for (std::size_t i = 0; i < r.deadlocks.size(); ++i) {
+    const DeadlockPostMortem& d = r.deadlocks[i];
+    if (i) out += ',';
+    out += '{';
+    append_kv(out, "cycle", d.cycle);
+    append_kv(out, "report_ts", d.report_ts);
+    append_kv(out, "count", d.count);
+    append_kv(out, "mt_marks", d.mt_marks);
+    append_kv(out, "mt_returns", d.mt_returns);
+    append_kv(out, "mr_marks", d.mr_marks);
+    append_kv(out, "mr_returns", d.mr_returns);
+    out += "\"vertices\":[";
+    for (std::size_t j = 0; j < d.vertices.size(); ++j) {
+      if (j) out += ',';
+      out += "{\"pe\":";
+      append_u64(out, d.vertices[j].first);
+      out += ",\"idx\":";
+      append_u64(out, d.vertices[j].second);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+void line(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string report_to_text(const TraceReport& r) {
+  std::string out;
+  line(out, "== trace summary ==");
+  line(out, "events %llu | pes %u | cycles %zu (%llu complete)",
+       (unsigned long long)r.events, r.num_pes, r.cycles.size(),
+       (unsigned long long)r.complete_cycles);
+  if (r.audits)
+    line(out, "audits %llu (%llu violations)", (unsigned long long)r.audits,
+         (unsigned long long)r.audit_violations);
+
+  line(out, "");
+  line(out, "== cycles ==");
+  line(out,
+       "%6s %9s %9s | %9s %9s | %9s %9s | %7s %6s %7s %6s %5s",
+       "cycle", "dur", "rescues", "mt-dur", "mt-marks", "mr-dur", "mr-marks",
+       "swept", "expng", "reprio", "dlck", "note");
+  for (const CycleReport& c : r.cycles) {
+    std::string note;
+    if (!c.complete) note = "partial";
+    if (c.audit_violations) note += note.empty() ? "VIOL" : "+VIOL";
+    if (c.health_warnings) note += note.empty() ? "warn" : "+warn";
+    line(out,
+         "%6llu %9llu %9llu | %9llu %9llu | %9llu %9llu | %7llu %6llu %7llu "
+         "%6llu %5s",
+         (unsigned long long)c.cycle, (unsigned long long)c.duration(),
+         (unsigned long long)c.rescue_waves,
+         (unsigned long long)c.mt.duration(), (unsigned long long)c.mt.marks,
+         (unsigned long long)c.mr.duration(), (unsigned long long)c.mr.marks,
+         (unsigned long long)c.swept, (unsigned long long)c.expunged,
+         (unsigned long long)c.reprioritized,
+         (unsigned long long)c.deadlocked_count, note.c_str());
+  }
+
+  line(out, "");
+  line(out, "== per-PE load ==");
+  if (r.metrics_enriched)
+    line(out, "%4s %8s %8s %7s %7s %6s %8s %8s %8s", "pe", "waves", "share",
+         "cycles", "idle", "rescq", "marks", "returns", "mbox-hw");
+  else
+    line(out, "%4s %8s %8s %7s %7s %6s   (run with --metrics for task counts)",
+         "pe", "waves", "share", "cycles", "idle", "rescq");
+  for (const PeLoad& p : r.pes) {
+    if (r.metrics_enriched)
+      line(out, "%4u %8llu %7.1f%% %7llu %6.1f%% %6llu %8llu %8llu %8llu",
+           p.pe, (unsigned long long)(p.wave_samples_r + p.wave_samples_t),
+           100.0 * p.work_share, (unsigned long long)p.cycles_participated,
+           100.0 * p.idle_fraction, (unsigned long long)p.rescue_queued,
+           (unsigned long long)p.mark_tasks, (unsigned long long)p.return_tasks,
+           (unsigned long long)p.mailbox_high_water);
+    else
+      line(out, "%4u %8llu %7.1f%% %7llu %6.1f%% %6llu", p.pe,
+           (unsigned long long)(p.wave_samples_r + p.wave_samples_t),
+           100.0 * p.work_share, (unsigned long long)p.cycles_participated,
+           100.0 * p.idle_fraction, (unsigned long long)p.rescue_queued);
+  }
+
+  line(out, "");
+  line(out, "== wave propagation latency (phase begin -> first wave sample) ==");
+  for (const auto& wl : {std::pair<const char*, const WaveLatency*>{
+                             "M_R", &r.wave_r},
+                         {"M_T", &r.wave_t}}) {
+    line(out, "%4s: samples %llu | p50 %.0f | p99 %.0f | max %.0f", wl.first,
+         (unsigned long long)wl.second->samples, wl.second->p50,
+         wl.second->p99, wl.second->max);
+  }
+
+  if (!r.deadlocks.empty()) {
+    line(out, "");
+    line(out, "== deadlock post-mortem ==");
+    for (const DeadlockPostMortem& d : r.deadlocks) {
+      line(out,
+           "cycle %llu (ts %llu): DL'_v = R'_v - T' named %llu vertices",
+           (unsigned long long)d.cycle, (unsigned long long)d.report_ts,
+           (unsigned long long)d.count);
+      line(out,
+           "  evidence: M_T traced the task-reachable set T' (%llu marks, "
+           "%llu returns);",
+           (unsigned long long)d.mt_marks, (unsigned long long)d.mt_returns);
+      line(out,
+           "            M_R traced the requested set R' (%llu marks, %llu "
+           "returns);",
+           (unsigned long long)d.mr_marks, (unsigned long long)d.mr_returns);
+      line(out,
+           "  each vertex below is vitally requested yet unreachable from "
+           "any task (Theorem 2):");
+      std::string vs = "  deadlocked:";
+      for (const auto& [pe, idx] : d.vertices) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), " %u:%llu", pe,
+                      (unsigned long long)idx);
+        vs += buf;
+      }
+      line(out, "%s", vs.c_str());
+    }
+  }
+
+  std::uint64_t warn_total = 0;
+  for (std::uint64_t w : r.health_warnings) warn_total += w;
+  if (warn_total || r.audits) {
+    line(out, "");
+    line(out, "== health ==");
+    for (std::size_t i = 0; i < kNumHealthKinds; ++i)
+      if (r.health_warnings[i])
+        line(out, "%-18s %llu", health_kind_name(static_cast<HealthKind>(i)),
+             (unsigned long long)r.health_warnings[i]);
+    if (!warn_total) line(out, "no health warnings");
+  }
+  return out;
+}
+
+}  // namespace dgr::obs

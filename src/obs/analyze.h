@@ -1,0 +1,137 @@
+// Post-mortem trace analytics backing the dgr_analyze CLI.
+//
+// Consumes the JSONL event stream produced by to_jsonl / dgr_run
+// --trace-jsonl (re-parsed via from_jsonl) and reconstructs, per ISSUE
+// archetype "how did this run behave":
+//   - per-cycle summaries: phase durations, mark/return totals, rescue-wave
+//     counts, restructuring outcomes (swept / expunged / reprioritized);
+//   - a per-PE load table: wave-front sample share, cycles participated,
+//     idle fraction, rescue/taint attribution (optionally enriched with the
+//     metrics registry's --metrics JSON: exact task counts + mailbox depth);
+//   - wave-propagation latency: for every (cycle, PE), the time from the
+//     plane's phase_begin until that PE's first wave_front sample — i.e. how
+//     long the decentralized wave takes to reach each processor (§4's
+//     locality claim, measured);
+//   - deadlock post-mortems: for every cycle whose restructuring phase
+//     reported DL'_v = R'_v − T' (Theorem 2), the evidence chain — the M_T
+//     and M_R wave stats the subtraction was computed from plus the named
+//     deadlocked vertices (kDeadlockVertex events).
+//
+// Only built when DGR_TRACE is ON (it consumes what only traced builds emit).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace dgr::obs {
+
+// One marking plane's wave inside one cycle.
+struct PhaseReport {
+  bool ran = false;
+  bool finished = false;       // phase_end observed
+  std::uint64_t begin_ts = 0;  // engine clock (sim steps / µs)
+  std::uint64_t end_ts = 0;
+  std::uint64_t marks = 0;    // from phase_end payload
+  std::uint64_t returns = 0;
+  std::uint64_t duration() const {
+    return finished && end_ts >= begin_ts ? end_ts - begin_ts : 0;
+  }
+};
+
+struct CycleReport {
+  std::uint64_t cycle = 0;
+  bool complete = false;  // cycle_end observed
+  std::uint64_t start_ts = 0;
+  std::uint64_t end_ts = 0;
+  PhaseReport mt;  // Plane::kT (deadlock-detection wave; optional)
+  PhaseReport mr;  // Plane::kR (priority marking wave)
+  std::uint64_t rescue_waves = 0;
+  std::uint64_t rescue_queued = 0;
+  std::uint64_t coop_taints = 0;
+  std::uint64_t swept = 0;
+  std::uint64_t expunged = 0;
+  std::uint64_t reprioritized = 0;
+  bool deadlock_report = false;      // restructuring ran phase (d)
+  std::uint64_t deadlocked_count = 0;  // |DL'_v|
+  std::uint64_t audits = 0;
+  std::uint64_t audit_violations = 0;
+  std::uint64_t health_warnings = 0;
+  std::uint64_t duration() const {
+    return complete && end_ts >= start_ts ? end_ts - start_ts : 0;
+  }
+};
+
+// Load attribution for one PE across the whole trace.
+struct PeLoad {
+  std::uint16_t pe = 0;
+  std::uint64_t wave_samples_r = 0;  // wave_front events on this PE, plane R
+  std::uint64_t wave_samples_t = 0;
+  double work_share = 0.0;           // this PE's share of all wave samples
+  std::uint64_t cycles_participated = 0;
+  double idle_fraction = 0.0;        // 1 − participated / completed cycles
+  std::uint64_t rescue_queued = 0;
+  std::uint64_t coop_taints = 0;
+  std::uint64_t health_warnings = 0;
+  // From --metrics enrichment (enrich_with_metrics_json); 0 until provided.
+  std::uint64_t mark_tasks = 0;
+  std::uint64_t return_tasks = 0;
+  std::uint64_t mailbox_high_water = 0;
+};
+
+// Wave-propagation latency distribution for one plane: per (cycle, PE), the
+// delay from phase_begin to the PE's first wave_front sample.
+struct WaveLatency {
+  std::uint64_t samples = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+// Evidence chain for one cycle's deadlock report (Theorem 2: DL'_v ⊆ DL).
+struct DeadlockPostMortem {
+  std::uint64_t cycle = 0;
+  std::uint64_t report_ts = 0;
+  std::uint64_t count = 0;     // |DL'_v|
+  std::uint64_t mt_marks = 0;  // T' was built by this wave...
+  std::uint64_t mt_returns = 0;
+  std::uint64_t mr_marks = 0;  // ...and R' (vital requests) by this one.
+  std::uint64_t mr_returns = 0;
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> vertices;  // (pe, idx)
+};
+
+struct TraceReport {
+  std::uint64_t events = 0;
+  std::uint32_t num_pes = 0;  // 1 + max pe observed (or metrics-provided)
+  bool metrics_enriched = false;
+  std::vector<CycleReport> cycles;
+  std::uint64_t complete_cycles = 0;
+  std::vector<PeLoad> pes;
+  WaveLatency wave_r;
+  WaveLatency wave_t;
+  std::vector<DeadlockPostMortem> deadlocks;
+  std::uint64_t health_warnings[kNumHealthKinds] = {};
+  std::uint64_t audits = 0;
+  std::uint64_t audit_violations = 0;
+};
+
+// Build the report from events in emission order (as from_jsonl returns
+// them). Tolerates truncated traces (ring wrap): cycles missing their start
+// or end are reported incomplete, never dropped silently.
+TraceReport analyze(const std::vector<TraceEvent>& events);
+
+// Merge a metrics-registry JSON dump (obs::MetricsRegistry::to_json, the
+// file dgr_run --metrics writes) into the per-PE table: exact mark/return
+// task counts and the mark_queue_depth high water. Returns false (report
+// untouched) when the JSON does not look like a registry dump.
+bool enrich_with_metrics_json(TraceReport& report, const std::string& json);
+
+// Deterministic JSON object (stable key order) for --json / CI consumption.
+std::string report_to_json(const TraceReport& report);
+
+// Human-readable tables (what dgr_analyze prints by default).
+std::string report_to_text(const TraceReport& report);
+
+}  // namespace dgr::obs

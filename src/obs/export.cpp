@@ -257,6 +257,24 @@ std::string to_chrome_trace(const std::vector<TraceEvent>& events,
         chrome_instant(out, "deadlock_report", e.ts, ctl,
                        one_arg("deadlocked", e.a));
         break;
+      case EventType::kDeadlockVertex: {
+        char name[48];
+        std::snprintf(name, sizeof(name), "deadlocked %u:%llu", e.pe,
+                      (unsigned long long)e.a);
+        chrome_instant(out, name, e.ts, e.pe, one_arg("idx", e.a));
+        break;
+      }
+      case EventType::kAudit:
+        chrome_instant(out, "audit", e.ts, ctl, one_arg("violations", e.a));
+        break;
+      case EventType::kHealthWarning:
+        chrome_instant(
+            out,
+            std::string("health: ") +
+                health_kind_name(static_cast<HealthKind>(
+                    e.a < kNumHealthKinds ? e.a : kNumHealthKinds)),
+            e.ts, e.pe, one_arg("detail", e.b));
+        break;
       case EventType::kCount_:
         break;
     }

@@ -15,7 +15,10 @@ const char* event_name(EventType t) {
     case EventType::kExpunge: return "expunge";
     case EventType::kReprioritize: return "reprioritize";
     case EventType::kDeadlockReport: return "deadlock_report";
+    case EventType::kDeadlockVertex: return "deadlock_vertex";
     case EventType::kCycleEnd: return "cycle_end";
+    case EventType::kAudit: return "audit";
+    case EventType::kHealthWarning: return "health_warning";
     case EventType::kCount_: break;
   }
   return "?";

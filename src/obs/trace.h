@@ -49,12 +49,39 @@ enum class EventType : std::uint8_t {
   kExpunge,          // controller: restructure (b)         a = tasks expunged
   kReprioritize,     // controller: restructure (c)         a = tasks retargeted
   kDeadlockReport,   // controller: restructure (d)         a = |DL'_v|
+  kDeadlockVertex,   // controller: one DL'_v member        pe = owner, a = idx
   kCycleEnd,         // controller: cycle complete          a = swept, b = expunged
+  kAudit,            // engine: safe-point audit ran        a = violations, b = |GAR'|
+  kHealthWarning,    // watchdog/audit: health flag         a = HealthKind, b = detail
   kCount_,
 };
 inline constexpr std::size_t kNumEventTypes =
     static_cast<std::size_t>(EventType::kCount_);
 const char* event_name(EventType t);
+
+// Payload `a` of kHealthWarning events (emitted by the ThreadEngine watchdog
+// and safe-point auditor; see runtime/thread_engine.h).
+enum class HealthKind : std::uint8_t {
+  kMarkStall = 0,      // marking wave made no front progress   b = stalled marks
+  kMailboxSaturated,   // mailbox backlog over threshold        b = backlog, pe set
+  kRescueStorm,        // rescue waves over threshold in cycle  b = waves
+  kAuditViolation,     // safe-point audit found a violation    b = audit #
+  kCount_,
+};
+inline constexpr std::size_t kNumHealthKinds =
+    static_cast<std::size_t>(HealthKind::kCount_);
+// Inline (not in trace.cpp): health counters survive -DDGR_TRACE=OFF, so
+// their names must too.
+inline const char* health_kind_name(HealthKind k) {
+  switch (k) {
+    case HealthKind::kMarkStall: return "mark_stall";
+    case HealthKind::kMailboxSaturated: return "mailbox_saturated";
+    case HealthKind::kRescueStorm: return "rescue_storm";
+    case HealthKind::kAuditViolation: return "audit_violation";
+    case HealthKind::kCount_: break;
+  }
+  return "?";
+}
 
 struct TraceEvent {
   std::uint64_t ts = 0;     // engine clock (sim steps / µs)

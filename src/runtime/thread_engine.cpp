@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <shared_mutex>
 
+#include "core/invariants.h"
 #include "net/wire.h"
 #include "obs/trace.h"
+#include "util/log.h"
 
 namespace dgr {
 
@@ -44,6 +46,8 @@ void ThreadEngine::start() {
   if (running_.exchange(true)) return;
   for (PeId pe = 0; pe < g_.num_pes(); ++pe)
     threads_.emplace_back([this, pe] { pe_loop(pe); });
+  if (wd_enabled_.load(std::memory_order_acquire))
+    wd_thread_ = std::thread([this] { watchdog_loop(); });
 }
 
 void ThreadEngine::stop() {
@@ -51,6 +55,7 @@ void ThreadEngine::stop() {
   for (auto& m : mail_) m->close();
   for (auto& t : threads_) t.join();
   threads_.clear();
+  if (wd_thread_.joinable()) wd_thread_.join();
 }
 
 void ThreadEngine::lock_vertex(VertexId v) {
@@ -163,6 +168,10 @@ void ThreadEngine::quiesce_begin() {
       g_.num_pes() - (tl_pe >= 0 ? 1u : 0u);
   while (parked_.load(std::memory_order_acquire) < expected)
     std::this_thread::yield();
+  // Safe point: every PE is parked, both planes have terminated with their
+  // marks still unconsumed, no marking task is in flight — the one globally
+  // consistent state the concurrent engine reaches. Audit here.
+  maybe_audit();
 }
 
 void ThreadEngine::quiesce_end() {
@@ -205,6 +214,156 @@ std::size_t ThreadEngine::reprioritize_tasks(
     n += pools_[pe]->reprioritize(prio);
   }
   return n;
+}
+
+void ThreadEngine::enable_audit(AuditOptions opt) {
+  audit_opt_ = opt;
+  audit_enabled_ = opt.period > 0;
+}
+
+void ThreadEngine::enable_watchdog(WatchdogOptions opt) {
+  wd_opt_ = opt;
+  wd_enabled_.store(true, std::memory_order_release);
+}
+
+HealthReport ThreadEngine::health() const {
+  HealthReport r;
+  for (std::size_t i = 0; i < obs::kNumHealthKinds; ++i)
+    r.warnings[i] = health_[i].load(std::memory_order_relaxed);
+  return r;
+}
+
+void ThreadEngine::warn(obs::HealthKind kind, std::uint16_t pe,
+                        std::uint64_t detail) {
+  health_[static_cast<std::size_t>(kind)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+  DGR_TRACE_EVENT(trace_.get(), obs::EventType::kHealthWarning, Plane::kR, pe,
+                  controller_->cycles_completed() + 1,
+                  static_cast<std::uint64_t>(kind), detail);
+}
+
+void ThreadEngine::maybe_audit() {
+  audit_swept_check_ = false;
+  if (!audit_enabled_) return;
+  const std::uint64_t cyc = controller_->cycles_completed() + 1;
+  if (cyc % audit_opt_.period != 0) return;
+  ++audit_stats_.audits;
+  std::uint64_t violations = 0;
+  auto fail = [&](const std::string& what) {
+    ++violations;
+    ++audit_stats_.violations;
+    audit_stats_.last_what = what;
+    DGR_ERROR("audit violation (cycle %llu): %s", (unsigned long long)cyc,
+              what.c_str());
+    warn(obs::HealthKind::kAuditViolation, 0, audit_stats_.audits);
+  };
+  if (audit_opt_.check_invariants) {
+    // Both planes have terminated (done) with marks intact; the pending task
+    // multiset is empty — the wave's termination detection guarantees every
+    // spawned marking task has executed.
+    for (const Plane plane : {Plane::kR, Plane::kT}) {
+      if (!marker_->active(plane) || !marker_->done(plane)) continue;
+      if (marker_->cycle_tainted(plane)) continue;
+      const InvariantReport rep =
+          check_marking_invariants(g_, *marker_, plane, {});
+      if (!rep.ok) fail(rep.what);
+    }
+  }
+  std::uint64_t gar = 0;
+  if (audit_opt_.check_accounting) {
+    const AccountingReport acc = check_heap_accounting(g_, *marker_);
+    if (!acc.ok) {
+      fail(acc.what);
+    } else if (marker_->active(Plane::kR) && marker_->done(Plane::kR)) {
+      // GAR' is frozen until the sweep (the mutation gate is held): the
+      // restructure about to run must free exactly this many vertices.
+      audit_expected_gar_ = acc.gar;
+      audit_swept_check_ = true;
+    }
+    gar = acc.gar;
+  }
+  DGR_TRACE_EVENT(trace_.get(), obs::EventType::kAudit, Plane::kR, 0, cyc,
+                  violations, gar);
+}
+
+void ThreadEngine::on_cycle_complete(const CycleResult& res) {
+  if (!audit_swept_check_) return;
+  audit_swept_check_ = false;
+  if (res.swept != audit_expected_gar_) {
+    ++audit_stats_.violations;
+    audit_stats_.last_what =
+        "Property 1 violated: swept " + std::to_string(res.swept) +
+        " != GAR' " + std::to_string(audit_expected_gar_);
+    DGR_ERROR("audit violation (cycle %llu): %s",
+              (unsigned long long)res.cycle, audit_stats_.last_what.c_str());
+    warn(obs::HealthKind::kAuditViolation, 0, audit_stats_.audits);
+  }
+}
+
+void ThreadEngine::watchdog_loop() {
+  std::uint64_t last_progress = 0;
+  std::uint32_t stalled = 0;
+  bool stall_reported = false;
+  auto total_rescues = [this] {
+    return marker_->rescue_waves(Plane::kR) + marker_->rescue_waves(Plane::kT);
+  };
+  std::uint64_t cycle_base_rescues = total_rescues();
+  std::uint64_t last_cycle = controller_->cycles_completed();
+  bool rescue_reported = false;
+  std::vector<bool> mailbox_reported(g_.num_pes(), false);
+  while (running_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(wd_opt_.interval_ms));
+    // Mailbox saturation, edge-triggered per PE (re-arms once the backlog
+    // halves, so a persistently saturated mailbox warns once, not per tick).
+    for (PeId pe = 0; pe < g_.num_pes(); ++pe) {
+      const std::uint64_t backlog = mail_[pe]->pending();
+      if (backlog >= wd_opt_.mailbox_saturation) {
+        if (!mailbox_reported[pe]) {
+          mailbox_reported[pe] = true;
+          warn(obs::HealthKind::kMailboxSaturated, pe, backlog);
+        }
+      } else if (backlog < wd_opt_.mailbox_saturation / 2) {
+        mailbox_reported[pe] = false;
+      }
+    }
+    // Per-cycle trackers reset when a new cycle begins.
+    const std::uint64_t cyc = controller_->cycles_completed();
+    if (cyc != last_cycle) {
+      last_cycle = cyc;
+      cycle_base_rescues = total_rescues();
+      rescue_reported = false;
+      stalled = 0;
+      stall_reported = false;
+    }
+    // Rescue storm: the supplementary-wave loop is churning, which means
+    // mutators acquire references faster than waves can absorb them.
+    const std::uint64_t waves = total_rescues() - cycle_base_rescues;
+    if (waves >= wd_opt_.rescue_storm && !rescue_reported) {
+      rescue_reported = true;
+      warn(obs::HealthKind::kRescueStorm, 0, waves);
+    }
+    // Wave-front stall: a plane is actively marking yet the global
+    // mark/return counters have not moved for the whole window.
+    const bool marking = marker_->marking_in_progress(Plane::kR) ||
+                         marker_->marking_in_progress(Plane::kT);
+    if (!marking) {
+      stalled = 0;
+      stall_reported = false;
+      continue;
+    }
+    const std::uint64_t progress = reg_.total(obs::Counter::kMarkTasks) +
+                                   reg_.total(obs::Counter::kReturnTasks) +
+                                   total_rescues();
+    if (progress != last_progress) {
+      last_progress = progress;
+      stalled = 0;
+      stall_reported = false;
+    } else if (++stalled >= wd_opt_.stall_samples && !stall_reported) {
+      stall_reported = true;
+      warn(obs::HealthKind::kMarkStall, 0, progress);
+    }
+  }
 }
 
 obs::TraceBuffer* ThreadEngine::enable_trace(std::size_t capacity) {

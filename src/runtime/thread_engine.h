@@ -22,6 +22,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -30,13 +31,10 @@
 #include "core/marker.h"
 #include "net/mailbox.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/pool.h"
 
 namespace dgr {
-
-namespace obs {
-class TraceBuffer;
-}
 
 // Sorted-order acquisition of per-vertex spinlocks; RAII release.
 class VertexLocks;
@@ -49,6 +47,48 @@ struct ThreadEngineStats {
   std::uint64_t local_messages = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t mailbox_high_water = 0;  // deepest mailbox backlog seen
+};
+
+// Safe-point auditing (§5.4.1 invariants + Property 1 accounting on the live
+// concurrent graph). The audit runs inside the restructuring quiesce window
+// every `period` cycles: all PE threads are parked, both planes have
+// terminated but their marks are not yet consumed, and no marking task is in
+// flight — the one globally consistent state the threaded engine ever
+// reaches. Violations are counted, logged, and emitted as health_warning
+// trace events; they never abort (CI decides via dgr_run --health-fatal).
+struct AuditOptions {
+  std::uint32_t period = 1;      // audit every Nth cycle (0 disables)
+  bool check_invariants = true;  // marking invariants 1-3 on terminated planes
+  bool check_accounting = true;  // Property 1: GAR = V − R − F, R ∩ F = ∅
+};
+
+struct AuditStats {
+  std::uint64_t audits = 0;      // safe-point audits executed
+  std::uint64_t violations = 0;  // failed checks (invariant or accounting)
+  std::string last_what;         // human-readable description of the latest
+};
+
+// Online health monitoring: a watchdog thread samples the metrics registry,
+// the controller and the mailboxes every `interval_ms` and flags
+//   - a marking wave with no front progress for `stall_samples` samples,
+//   - a mailbox backlog above `mailbox_saturation`,
+//   - more than `rescue_storm` supplementary waves within one cycle,
+// as health_warning trace events plus always-on counters (the counters
+// survive -DDGR_TRACE=OFF; only the event emission compiles out).
+struct WatchdogOptions {
+  std::uint32_t interval_ms = 2;
+  std::uint32_t stall_samples = 500;  // ~1 s of no progress at 2 ms
+  std::uint64_t mailbox_saturation = 1 << 16;
+  std::uint64_t rescue_storm = 64;
+};
+
+struct HealthReport {
+  std::uint64_t warnings[obs::kNumHealthKinds] = {};
+  std::uint64_t total() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t w : warnings) n += w;
+    return n;
+  }
 };
 
 class ThreadEngine final : public TaskSink, public EngineHooks {
@@ -91,6 +131,16 @@ class ThreadEngine final : public TaskSink, public EngineHooks {
       const std::function<std::uint8_t(const Task&)>& prio) override;
   void quiesce_begin() override;
   void quiesce_end() override;
+  void on_cycle_complete(const CycleResult& res) override;
+
+  // Enable safe-point auditing (see AuditOptions). Call before start().
+  void enable_audit(AuditOptions opt = {});
+  const AuditStats& audit_stats() const { return audit_stats_; }
+
+  // Arm the stall watchdog (see WatchdogOptions). Call before start(); the
+  // monitor thread lives from start() to stop().
+  void enable_watchdog(WatchdogOptions opt = {});
+  HealthReport health() const;
 
   // Execute `fn` with the listed vertices' locks held (sorted order) —
   // the atomic section for a multi-vertex mutation.
@@ -113,6 +163,10 @@ class ThreadEngine final : public TaskSink, public EngineHooks {
 
   void pe_loop(PeId pe);
   void execute(PeId pe, const Task& t);
+  void watchdog_loop();
+  void warn(obs::HealthKind kind, std::uint16_t pe, std::uint64_t detail);
+  // Runs inside the quiesce window (all PEs parked, marks unconsumed).
+  void maybe_audit();
   std::uint32_t lock_index(VertexId v) const {
     return static_cast<std::uint32_t>(VertexIdHash{}(v) % locks_.size());
   }
@@ -143,6 +197,20 @@ class ThreadEngine final : public TaskSink, public EngineHooks {
   obs::MetricsRegistry reg_;
   std::unique_ptr<obs::TraceBuffer> trace_;
   std::chrono::steady_clock::time_point t0_;
+
+  // ---- Safe-point audit (mutated only inside the quiesce window, by the
+  // single restructuring thread; read externally after stop()). ----
+  AuditOptions audit_opt_;
+  bool audit_enabled_ = false;
+  AuditStats audit_stats_;
+  bool audit_swept_check_ = false;  // cross-check swept vs GAR' this cycle
+  std::size_t audit_expected_gar_ = 0;
+
+  // ---- Watchdog ----
+  WatchdogOptions wd_opt_;
+  std::atomic<bool> wd_enabled_{false};
+  std::thread wd_thread_;
+  std::atomic<std::uint64_t> health_[obs::kNumHealthKinds] = {};
 };
 
 }  // namespace dgr

@@ -1,0 +1,227 @@
+// Tests for the post-mortem trace analyzer (obs/analyze) over synthetic
+// event streams and the golden JSONL traces in tests/data/ (recorded runs of
+// dgr_run; regenerate with the commands in docs/OBSERVABILITY.md).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/analyze.h"
+#include "obs/export.h"
+
+namespace dgr::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file: " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string data_path(const char* name) {
+  return std::string(DGR_SOURCE_DIR) + "/tests/data/" + name;
+}
+
+TraceEvent ev(EventType type, Plane plane, std::uint16_t pe,
+              std::uint64_t cycle, std::uint64_t ts, std::uint64_t a = 0,
+              std::uint64_t b = 0) {
+  TraceEvent e;
+  e.type = type;
+  e.plane = plane;
+  e.pe = pe;
+  e.cycle = cycle;
+  e.ts = ts;
+  e.a = a;
+  e.b = b;
+  return e;
+}
+
+// Braces/brackets balanced and no bare control characters — cheap validity
+// proxy for the deterministic JSON the analyzer emits.
+void expect_balanced_json(const std::string& s) {
+  int depth = 0;
+  bool in_str = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_str) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_str = false;
+      continue;
+    }
+    if (c == '"') in_str = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_str);
+}
+
+TEST(Analyze, SyntheticCycleAndWaveLatency) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(EventType::kCycleStart, Plane::kR, 0, 1, 100));
+  events.push_back(ev(EventType::kPhaseBegin, Plane::kR, 0, 1, 110));
+  // wave_front events carry cycle 0 (the marker is cycle-agnostic): the
+  // analyzer must scope them to the open cycle by scan order.
+  events.push_back(ev(EventType::kWaveFront, Plane::kR, 0, 0, 112, 32));
+  events.push_back(ev(EventType::kWaveFront, Plane::kR, 1, 0, 120, 64));
+  events.push_back(ev(EventType::kWaveFront, Plane::kR, 1, 0, 125, 96));
+  events.push_back(ev(EventType::kPhaseEnd, Plane::kR, 0, 1, 130, 96, 40));
+  events.push_back(ev(EventType::kSweep, Plane::kR, 0, 1, 131, 7));
+  events.push_back(ev(EventType::kCycleEnd, Plane::kR, 0, 1, 132, 7, 0));
+
+  const TraceReport r = analyze(events);
+  ASSERT_EQ(r.cycles.size(), 1u);
+  const CycleReport& c = r.cycles[0];
+  EXPECT_TRUE(c.complete);
+  EXPECT_EQ(c.duration(), 32u);
+  EXPECT_FALSE(c.mt.ran);
+  EXPECT_TRUE(c.mr.finished);
+  EXPECT_EQ(c.mr.duration(), 20u);
+  EXPECT_EQ(c.mr.marks, 96u);
+  EXPECT_EQ(c.mr.returns, 40u);
+  EXPECT_EQ(c.swept, 7u);
+
+  ASSERT_EQ(r.num_pes, 2u);
+  EXPECT_EQ(r.pes[0].wave_samples_r, 1u);
+  EXPECT_EQ(r.pes[1].wave_samples_r, 2u);
+  EXPECT_EQ(r.pes[0].cycles_participated, 1u);
+  EXPECT_DOUBLE_EQ(r.pes[0].idle_fraction, 0.0);
+  EXPECT_NEAR(r.pes[1].work_share, 2.0 / 3.0, 1e-9);
+
+  // First-participation latency: pe0 at 112-110=2, pe1 at 120-110=10 (the
+  // second pe1 sample is not a first). Log-bucketed histogram: max is exact,
+  // percentiles are ~4% bucket mids.
+  EXPECT_EQ(r.wave_r.samples, 2u);
+  EXPECT_DOUBLE_EQ(r.wave_r.max, 10.0);
+  EXPECT_GT(r.wave_r.p50, 1.0);
+  EXPECT_LT(r.wave_r.p50, 3.0);
+  EXPECT_EQ(r.wave_t.samples, 0u);
+}
+
+TEST(Analyze, SyntheticDeadlockChain) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(EventType::kCycleStart, Plane::kR, 0, 5, 10));
+  events.push_back(ev(EventType::kPhaseBegin, Plane::kT, 0, 5, 11));
+  events.push_back(ev(EventType::kPhaseEnd, Plane::kT, 0, 5, 20, 9, 8));
+  events.push_back(ev(EventType::kPhaseBegin, Plane::kR, 0, 5, 21));
+  events.push_back(ev(EventType::kPhaseEnd, Plane::kR, 0, 5, 30, 12, 11));
+  events.push_back(ev(EventType::kDeadlockReport, Plane::kT, 0, 5, 31, 2));
+  events.push_back(ev(EventType::kDeadlockVertex, Plane::kT, 1, 5, 31, 42));
+  events.push_back(ev(EventType::kDeadlockVertex, Plane::kT, 3, 5, 31, 7));
+  events.push_back(ev(EventType::kCycleEnd, Plane::kR, 0, 5, 33));
+
+  const TraceReport r = analyze(events);
+  ASSERT_EQ(r.deadlocks.size(), 1u);
+  const DeadlockPostMortem& d = r.deadlocks[0];
+  EXPECT_EQ(d.cycle, 5u);
+  EXPECT_EQ(d.count, 2u);
+  // The evidence chain ties the report back to the waves that computed it:
+  // DL'_v = R'_v − T' needs both planes' totals.
+  EXPECT_EQ(d.mt_marks, 9u);
+  EXPECT_EQ(d.mt_returns, 8u);
+  EXPECT_EQ(d.mr_marks, 12u);
+  ASSERT_EQ(d.vertices.size(), 2u);
+  EXPECT_EQ(d.vertices[0], (std::pair<std::uint16_t, std::uint64_t>{1, 42}));
+  EXPECT_EQ(d.vertices[1], (std::pair<std::uint16_t, std::uint64_t>{3, 7}));
+}
+
+TEST(Analyze, GoldenGcCycleTrace) {
+  const std::vector<TraceEvent> events =
+      from_jsonl(slurp(data_path("golden_gc_cycle.jsonl")));
+  ASSERT_FALSE(events.empty());
+  const TraceReport r = analyze(events);
+
+  // Recorded from: dgr_run --seed 7 --pes 4 --gc gcd.dgr. Every cycle in
+  // the file completed, evaluation garbage was swept, and M_T never ran
+  // (no --detect-deadlock).
+  EXPECT_EQ(r.events, events.size());
+  EXPECT_EQ(r.complete_cycles, 37u);
+  EXPECT_EQ(r.cycles.size(), 37u);
+  std::uint64_t swept = 0;
+  for (const CycleReport& c : r.cycles) {
+    EXPECT_TRUE(c.complete);
+    EXPECT_TRUE(c.mr.ran);
+    EXPECT_FALSE(c.mt.ran);
+    swept += c.swept;
+  }
+  EXPECT_GT(swept, 0u);
+  EXPECT_TRUE(r.deadlocks.empty());
+  EXPECT_EQ(r.audit_violations, 0u);
+
+  // Metrics enrichment: per-PE task counts come from the registry dump.
+  TraceReport enriched = r;
+  ASSERT_TRUE(enrich_with_metrics_json(
+      enriched, slurp(data_path("golden_gc_metrics.json"))));
+  EXPECT_TRUE(enriched.metrics_enriched);
+  EXPECT_EQ(enriched.num_pes, 4u);
+  std::uint64_t total_marks = 0;
+  for (const PeLoad& p : enriched.pes) total_marks += p.mark_tasks;
+  EXPECT_GT(total_marks, 0u);
+
+  expect_balanced_json(report_to_json(enriched));
+  EXPECT_NE(report_to_text(enriched).find("== cycles =="), std::string::npos);
+}
+
+TEST(Analyze, GoldenDeadlockTraceNamesWedgedVertex) {
+  const std::vector<TraceEvent> events =
+      from_jsonl(slurp(data_path("golden_deadlock.jsonl")));
+  ASSERT_FALSE(events.empty());
+  const TraceReport r = analyze(events);
+
+  // Recorded from: dgr_run --seed 7 --pes 2 --detect-deadlock deadlock.dgr
+  // (def main() = let x = x + 1 in x). The live run printed
+  // "deadlocked vertex 0:0 (op +)"; the post-mortem must reconstruct the
+  // same vertex set from the trace alone, in every cycle that reported.
+  ASSERT_FALSE(r.deadlocks.empty());
+  for (const DeadlockPostMortem& d : r.deadlocks) {
+    EXPECT_EQ(d.count, 1u);
+    ASSERT_EQ(d.vertices.size(), 1u);
+    EXPECT_EQ(d.vertices[0].first, 0u);   // pe 0
+    EXPECT_EQ(d.vertices[0].second, 0u);  // idx 0
+    // Evidence: both waves ran and terminated before the report.
+    EXPECT_GT(d.mt_marks, 0u);
+    EXPECT_GT(d.mr_marks, 0u);
+  }
+  // The report must also tell us *when*: deadlock cycles carry the flag.
+  std::uint64_t reporting_cycles = 0;
+  for (const CycleReport& c : r.cycles)
+    if (c.deadlocked_count > 0) ++reporting_cycles;
+  EXPECT_EQ(reporting_cycles, r.deadlocks.size());
+
+  const std::string json = report_to_json(r);
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"deadlocks\":[{"), std::string::npos);
+  EXPECT_NE(report_to_text(r).find("deadlocked: 0:0"), std::string::npos);
+}
+
+TEST(Analyze, TruncatedTraceIsTolerated) {
+  // Simulate a ring-wrapped trace: the stream starts mid-cycle (no
+  // cycle_start for cycle 3) and ends mid-cycle (no cycle_end for cycle 5).
+  std::vector<TraceEvent> events;
+  events.push_back(ev(EventType::kPhaseEnd, Plane::kR, 0, 3, 40, 5, 4));
+  events.push_back(ev(EventType::kCycleEnd, Plane::kR, 0, 3, 41));
+  events.push_back(ev(EventType::kCycleStart, Plane::kR, 0, 4, 50));
+  events.push_back(ev(EventType::kCycleEnd, Plane::kR, 0, 4, 60));
+  events.push_back(ev(EventType::kCycleStart, Plane::kR, 0, 5, 70));
+  events.push_back(ev(EventType::kPhaseBegin, Plane::kR, 0, 5, 71));
+
+  const TraceReport r = analyze(events);
+  ASSERT_EQ(r.cycles.size(), 3u);
+  EXPECT_EQ(r.complete_cycles, 2u);
+  EXPECT_TRUE(r.cycles[0].complete);   // cycle 3: end seen, start missing
+  EXPECT_FALSE(r.cycles[2].complete);  // cycle 5: still open at EOF
+  expect_balanced_json(report_to_json(r));
+}
+
+TEST(Analyze, MetricsEnrichmentRejectsGarbage) {
+  TraceReport r;
+  EXPECT_FALSE(enrich_with_metrics_json(r, "not json at all"));
+  EXPECT_FALSE(enrich_with_metrics_json(r, "{\"something\":1}"));
+  EXPECT_FALSE(r.metrics_enriched);
+}
+
+}  // namespace
+}  // namespace dgr::obs

@@ -236,5 +236,85 @@ TEST(ThreadEngine, ManyPesScaleSmoke) {
   });
 }
 
+// ---- Online health auditing (safe-point audits + watchdog). ----
+
+TEST(ThreadEngine, SafePointAuditCleanOnStaticGraph) {
+  Graph g = make_presized(4, 2500);
+  RandomGraphOptions opt;
+  opt.num_vertices = 1500;
+  opt.seed = 11;
+  opt.num_tasks = 16;
+  const BuiltGraph b = build_random_graph(g, opt);
+  ThreadEngine eng(g);
+  eng.set_root(b.root);
+  for (const TaskRef& t : b.tasks)
+    eng.inject(Task::request(t.s, t.d, ReqKind::kVital));
+  eng.enable_audit();
+  eng.enable_watchdog();
+  eng.start();
+  for (int i = 0; i < 5; ++i) {
+    CycleOptions copt;
+    copt.detect_deadlock = i % 2 == 0;
+    eng.controller().start_cycle(copt);
+    eng.wait_cycle_done();
+  }
+  eng.stop();
+  // Every restructure quiesce window audited; §5.4.1 invariants and the
+  // Property 1 accounting must hold at each, and the sweep cross-check
+  // (swept == GAR') must agree every cycle.
+  EXPECT_EQ(eng.audit_stats().audits, 5u);
+  EXPECT_EQ(eng.audit_stats().violations, 0u) << eng.audit_stats().last_what;
+  EXPECT_EQ(eng.health().total(), 0u);
+}
+
+TEST(ThreadEngine, AuditPeriodSkipsCycles) {
+  Graph g = make_presized(2, 600);
+  RandomGraphOptions opt;
+  opt.num_vertices = 400;
+  opt.seed = 3;
+  const BuiltGraph b = build_random_graph(g, opt);
+  ThreadEngine eng(g);
+  eng.set_root(b.root);
+  AuditOptions aopt;
+  aopt.period = 2;  // audit cycles 2 and 4 only
+  eng.enable_audit(aopt);
+  eng.start();
+  for (int i = 0; i < 5; ++i) {
+    eng.controller().start_cycle();
+    eng.wait_cycle_done();
+  }
+  eng.stop();
+  EXPECT_EQ(eng.audit_stats().audits, 2u);
+  EXPECT_EQ(eng.audit_stats().violations, 0u) << eng.audit_stats().last_what;
+}
+
+TEST(ThreadEngine, WatchdogRescueStormThresholdFires) {
+  // With the storm threshold at zero every watchdog sample trips the alarm:
+  // proves the monitor thread samples, warns, and counts while PEs run.
+  Graph g = make_presized(2, 600);
+  RandomGraphOptions opt;
+  opt.num_vertices = 300;
+  opt.seed = 9;
+  const BuiltGraph b = build_random_graph(g, opt);
+  ThreadEngine eng(g);
+  eng.set_root(b.root);
+  WatchdogOptions wopt;
+  wopt.interval_ms = 1;
+  wopt.rescue_storm = 0;
+  eng.enable_watchdog(wopt);
+  eng.start();
+  eng.controller().start_cycle();
+  eng.wait_cycle_done();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  eng.stop();
+  const HealthReport hr = eng.health();
+  EXPECT_GE(hr.warnings[static_cast<std::size_t>(obs::HealthKind::kRescueStorm)],
+            1u);
+  // Edge-triggered: one warning per cycle, not one per sample.
+  EXPECT_LE(hr.warnings[static_cast<std::size_t>(obs::HealthKind::kRescueStorm)],
+            2u);
+  EXPECT_EQ(eng.audit_stats().audits, 0u);  // auditing was never enabled
+}
+
 }  // namespace
 }  // namespace dgr

@@ -1,0 +1,98 @@
+// dgr_analyze — post-mortem analytics over a recorded marking-cycle trace.
+//
+//   dgr_analyze trace.jsonl
+//   dgr_analyze --trace-jsonl trace.jsonl --metrics metrics.json
+//   dgr_analyze --json trace.jsonl          # machine-readable report
+//
+// The input is the JSONL stream dgr_run --trace-jsonl writes (one event
+// object per line; see docs/OBSERVABILITY.md). With --metrics, the per-PE
+// load table is enriched with exact task counts and mailbox high-water from
+// the registry dump dgr_run --metrics writes. Exit status: 0 on success,
+// 2 on usage/IO errors, 3 when the trace contains no recognizable events.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/analyze.h"
+#include "obs/export.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--trace-jsonl] FILE [--metrics FILE] [--json]\n",
+               argv0);
+  return 2;
+}
+
+bool slurp(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path, metrics_path;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--trace-jsonl" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-' && trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (trace_path.empty()) return usage(argv[0]);
+
+  std::string text;
+  if (!slurp(trace_path, &text)) {
+    std::fprintf(stderr, "dgr_analyze: cannot read %s\n", trace_path.c_str());
+    return 2;
+  }
+  const std::vector<dgr::obs::TraceEvent> events =
+      dgr::obs::from_jsonl(text);
+  if (events.empty()) {
+    std::fprintf(stderr, "dgr_analyze: no trace events in %s\n",
+                 trace_path.c_str());
+    return 3;
+  }
+
+  dgr::obs::TraceReport report = dgr::obs::analyze(events);
+
+  if (!metrics_path.empty()) {
+    std::string mjson;
+    if (!slurp(metrics_path, &mjson)) {
+      std::fprintf(stderr, "dgr_analyze: cannot read %s\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    if (!dgr::obs::enrich_with_metrics_json(report, mjson)) {
+      std::fprintf(stderr,
+                   "dgr_analyze: %s is not a metrics registry dump\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+  }
+
+  const std::string out = json ? dgr::obs::report_to_json(report)
+                               : dgr::obs::report_to_text(report);
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  if (json) std::fputc('\n', stdout);
+  return 0;
+}
