@@ -167,8 +167,26 @@ class JsonBenchReporter : public benchmark::ConsoleReporter {
 };
 
 // Shared main: console output as usual plus the BENCH_<name>.json artifact.
+//
+// `--smoke` (ours, stripped before google-benchmark sees the args) caps each
+// measurement at 0.01s so CI's bench-smoke job can exercise every bench path
+// and still produce the JSON artifacts in seconds. Numbers from a smoke run
+// are for plumbing validation only — never quote them.
 inline int run_bench_main(const char* name, int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  std::vector<char*> args(argv, argv + argc);
+  bool smoke = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::string(*it) == "--smoke") {
+      smoke = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  static char min_time[] = "--benchmark_min_time=0.01";
+  if (smoke) args.push_back(min_time);
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
   JsonBenchReporter reporter(name);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   return 0;

@@ -26,7 +26,7 @@ Graph make_graph(std::uint32_t pes, std::uint32_t vertices,
   return g;
 }
 
-VertexId root_of(const Graph& g) { return VertexId{0, 0}; }
+VertexId root_of(const Graph&) { return VertexId{0, 0}; }
 
 void table() {
   print_header("E8: marking throughput vs #PEs",

@@ -28,6 +28,17 @@
 //                    was recorded (CI hook)
 //   --wedge-steps N  with --gc: declare evaluation wedged after N sim steps
 //                    of zero reduction progress (default 200000)
+//   --fault-drop P   inject message faults into the threaded audit phase:
+//   --fault-dup P    per-message probabilities of drop / duplicate /
+//   --fault-reorder P  reorder / truncate on every directed PE pair. Any
+//   --fault-trunc P  nonzero probability activates the fault plane plus the
+//                    reliable channel (exactly-once recovery) and implies
+//                    --audit 1 unless --audit was given (docs/FAULTS.md)
+//   --fault-seed S   fault-schedule seed (default 1; deterministic per pair)
+//
+// With --audit, any --trace/--trace-jsonl/--metrics also writes the audit
+// phase's own exports next to the sim phase's, as "<path>.audit.json[l]"
+// (those carry the fault_injected / retransmit events dgr_analyze rolls up).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -43,10 +54,10 @@
 
 namespace {
 
-void write_file(const char* path, const std::string& data) {
+void write_file(const std::string& path, const std::string& data) {
   std::ofstream f(path, std::ios::binary);
   if (!f) {
-    std::fprintf(stderr, "dgr_run: cannot write '%s'\n", path);
+    std::fprintf(stderr, "dgr_run: cannot write '%s'\n", path.c_str());
     std::exit(2);
   }
   f << data;
@@ -82,6 +93,7 @@ int main(int argc, char** argv) {
   std::uint32_t audit_cycles = 50;
   std::uint64_t wedge_steps = 200000;
   std::uint32_t latency = 0;
+  NetOptions net;
   const char* trace_path = nullptr;
   const char* jsonl_path = nullptr;
   const char* metrics_path = nullptr;
@@ -117,6 +129,16 @@ int main(int argc, char** argv) {
       health_fatal = true;
     } else if (!std::strcmp(argv[i], "--wedge-steps") && i + 1 < argc) {
       wedge_steps = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--fault-seed") && i + 1 < argc) {
+      net.faults.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--fault-drop") && i + 1 < argc) {
+      net.faults.spec.drop = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--fault-dup") && i + 1 < argc) {
+      net.faults.spec.duplicate = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--fault-reorder") && i + 1 < argc) {
+      net.faults.spec.reorder = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--fault-trunc") && i + 1 < argc) {
+      net.faults.spec.truncate = std::atof(argv[++i]);
     } else if (argv[i][0] != '-' || !std::strcmp(argv[i], "-")) {
       path = argv[i];
     } else {
@@ -124,12 +146,20 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (net.enabled()) {
+    // Faults exercise the threaded audit phase; make sure it runs, auditing
+    // every cycle unless the user chose a coarser period.
+    gc = true;
+    if (audit_period == 0) audit_period = 1;
+  }
   if (!path) {
     std::fprintf(stderr,
                  "usage: dgr_run [--pes N] [--seed S] [--speculate] [--gc] "
                  "[--detect-deadlock] [--stats] [--trace FILE] "
                  "[--trace-jsonl FILE] [--metrics FILE] [--audit N] "
-                 "[--audit-cycles K] [--health-fatal] <file|->\n");
+                 "[--audit-cycles K] [--health-fatal] [--fault-seed S] "
+                 "[--fault-drop P] [--fault-dup P] [--fault-reorder P] "
+                 "[--fault-trunc P] <file|->\n");
     return 2;
   }
 #if !DGR_TRACE_ENABLED
@@ -239,7 +269,7 @@ int main(int argc, char** argv) {
     // cycles exercise the steady state (§5.4.1 invariants must hold at every
     // quiesce point, and each sweep must free exactly GAR' — Property 1).
     for (PeId pe = 0; pe < graph.num_pes(); ++pe) graph.store(pe).taskroot();
-    ThreadEngine teng(graph);
+    ThreadEngine teng(graph, net);
     teng.set_root(root);
     teng.controller().prewarm_aux_roots();
     // Slot vectors must never reallocate under the PE threads; everything
@@ -254,12 +284,32 @@ int main(int argc, char** argv) {
     aopt.period = audit_period;
     teng.enable_audit(aopt);
     teng.enable_watchdog();
+#if DGR_TRACE_ENABLED
+    if (trace_path || jsonl_path) teng.enable_trace();
+#endif
     teng.start();
     for (std::uint32_t i = 0; i < audit_cycles; ++i) {
       teng.controller().start_cycle(CycleOptions{detect});
       teng.wait_cycle_done();
     }
     teng.stop();
+    // The audit phase's own observability, next to (not over) the sim
+    // phase's files: "<path>.audit[.json|l]". The JSONL feeds dgr_analyze's
+    // fault/retransmit rollup (docs/FAULTS.md).
+#if DGR_TRACE_ENABLED
+    if (trace_path || jsonl_path) {
+      const std::vector<obs::TraceEvent> ev = teng.trace()->snapshot();
+      if (trace_path)
+        write_file(std::string(trace_path) + ".audit.json",
+                   obs::to_chrome_trace(ev, graph.num_pes()));
+      if (jsonl_path)
+        write_file(std::string(jsonl_path) + ".audit.jsonl",
+                   obs::to_jsonl(ev));
+    }
+#endif
+    if (metrics_path)
+      write_file(std::string(metrics_path) + ".audit.json",
+                 teng.metrics_registry().to_json() + "\n");
     const AuditStats& as = teng.audit_stats();
     const HealthReport hr = teng.health();
     std::printf("# audit: %llu safe-point audits, %llu violations; "
@@ -269,6 +319,18 @@ int main(int argc, char** argv) {
                 (unsigned long long)hr.total());
     if (as.violations)
       std::printf("# last audit violation: %s\n", as.last_what.c_str());
+    if (const FaultPlane* fp = teng.fault_plane()) {
+      const FaultPlane::Stats fs = fp->stats();
+      const ChannelManager::Stats cs = teng.channels()->stats();
+      std::printf(
+          "# faults: dropped=%llu dup=%llu reordered=%llu truncated=%llu | "
+          "retransmits=%llu dup_suppressed=%llu delivered=%llu unacked=%llu\n",
+          (unsigned long long)fs.injected[0], (unsigned long long)fs.injected[1],
+          (unsigned long long)fs.injected[2], (unsigned long long)fs.injected[3],
+          (unsigned long long)cs.retransmits,
+          (unsigned long long)cs.dup_suppressed,
+          (unsigned long long)cs.delivered, (unsigned long long)cs.unacked);
+    }
     for (std::size_t k = 0; k < obs::kNumHealthKinds; ++k)
       if (hr.warnings[k])
         std::printf("# health warning: %s x%llu\n",

@@ -1,0 +1,250 @@
+#include "net/reliable_channel.h"
+
+#include <algorithm>
+
+#include "net/wire.h"
+#include "util/assert.h"
+
+namespace dgr {
+
+namespace {
+
+constexpr std::uint8_t kFrameData = 0xD1;
+constexpr std::uint8_t kFrameAck = 0xA7;
+
+// FNV-1a over the frame bytes preceding the checksum field.
+std::uint64_t fnv1a(const std::uint8_t* p, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const ChannelFrame& f) {
+  ByteWriter w;
+  w.u8(f.is_data ? kFrameData : kFrameAck);
+  w.u32(f.src);
+  w.u32(f.dst);
+  w.u64(f.seq);
+  w.u32(static_cast<std::uint32_t>(f.payload.size()));
+  std::vector<std::uint8_t> out = w.take();
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+  const std::uint64_t sum = fnv1a(out.data(), out.size());
+  ByteWriter tail;
+  tail.u64(sum);
+  std::vector<std::uint8_t> t = tail.take();
+  out.insert(out.end(), t.begin(), t.end());
+  return out;
+}
+
+std::optional<ChannelFrame> try_decode_frame(
+    const std::vector<std::uint8_t>& bytes) {
+  // type(1) + src(4) + dst(4) + seq(8) + len(4) + checksum(8)
+  constexpr std::size_t kMinFrame = 29;
+  if (bytes.size() < kMinFrame) return std::nullopt;
+  const std::uint64_t want = fnv1a(bytes.data(), bytes.size() - 8);
+  ByteReader r(bytes);
+  ChannelFrame f;
+  const std::uint8_t type = r.u8();
+  f.src = r.u32();
+  f.dst = r.u32();
+  f.seq = r.u64();
+  const std::uint32_t len = r.u32();
+  if (type == kFrameData) {
+    f.is_data = true;
+  } else if (type == kFrameAck) {
+    f.is_data = false;
+  } else {
+    return std::nullopt;
+  }
+  if (r.remaining() != static_cast<std::size_t>(len) + 8) return std::nullopt;
+  f.payload.resize(len);
+  for (std::uint32_t i = 0; i < len; ++i) f.payload[i] = r.u8();
+  const std::uint64_t got = r.u64();
+  if (!r.done() || got != want) return std::nullopt;
+  return f;
+}
+
+ChannelManager::ChannelManager(std::uint32_t num_pes, ReliableOptions opt,
+                               SendFn send)
+    : num_pes_(num_pes ? num_pes : 1), opt_(opt), send_(std::move(send)) {
+  DGR_CHECK(send_ != nullptr);
+  channels_.reserve(static_cast<std::size_t>(num_pes_) * num_pes_);
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(num_pes_) * num_pes_; ++i)
+    channels_.push_back(std::make_unique<Channel>());
+}
+
+std::uint64_t ChannelManager::rto_us(std::uint32_t shift) const {
+  const std::uint64_t base = opt_.rto_initial_us ? opt_.rto_initial_us : 1;
+  // Doubling capped at rto_max; guard the shift so it can't overflow.
+  if (shift >= 63) return opt_.rto_max_us;
+  const std::uint64_t rto = base << shift;
+  return std::min(rto, opt_.rto_max_us ? opt_.rto_max_us : rto);
+}
+
+void ChannelManager::send(PeId src, PeId dst, Bytes payload,
+                          std::uint64_t now_us) {
+  Channel& ch = channel(src, dst);
+  Bytes frame;
+  {
+    std::lock_guard<std::mutex> lk(ch.mu);
+    ChannelFrame f;
+    f.is_data = true;
+    f.src = src;
+    f.dst = dst;
+    f.seq = ch.next_seq++;
+    f.payload = std::move(payload);
+    frame = encode_frame(f);
+    const bool was_empty = ch.unacked.empty();
+    ch.unacked.emplace(f.seq, Unacked{frame, now_us, 1});
+    if (was_empty) {
+      ch.backoff_shift = 0;
+      ch.rto_deadline_us = now_us + rto_us(0);
+    }
+    ++ch.stats.data_sent;
+  }
+  send_(src, dst, std::move(frame));
+}
+
+std::vector<ChannelManager::Bytes> ChannelManager::on_frame(
+    PeId pe, const Bytes& frame, std::uint64_t now_us) {
+  std::optional<ChannelFrame> f = try_decode_frame(frame);
+  if (!f) {
+    // Count the error against the receiving PE's self-channel: garbage
+    // carries no trustworthy src/dst.
+    Channel& ch = channel(pe, pe);
+    {
+      std::lock_guard<std::mutex> lk(ch.mu);
+      ++ch.stats.decode_errors;
+    }
+    if (hooks_.on_decode_error) hooks_.on_decode_error(pe);
+    return {};
+  }
+  if (f->is_data) {
+    if (f->dst >= num_pes_ || f->src >= num_pes_) return {};
+    return on_data(*f, now_us);
+  }
+  if (f->dst >= num_pes_ || f->src >= num_pes_) return {};
+  on_ack(*f, now_us);
+  return {};
+}
+
+std::vector<ChannelManager::Bytes> ChannelManager::on_data(
+    const ChannelFrame& f, std::uint64_t now_us) {
+  (void)now_us;
+  Channel& ch = channel(f.src, f.dst);
+  std::vector<Bytes> out;
+  std::uint64_t cum_ack = 0;
+  {
+    std::lock_guard<std::mutex> lk(ch.mu);
+    if (f.seq < ch.next_expected ||
+        ch.out_of_order.count(f.seq) != 0) {
+      ++ch.stats.dup_suppressed;
+      if (hooks_.on_dup_suppressed) hooks_.on_dup_suppressed(f.dst, f.src, f.seq);
+    } else {
+      ch.out_of_order.emplace(f.seq, f.payload);
+      // Drain the in-order run starting at next_expected.
+      for (auto it = ch.out_of_order.find(ch.next_expected);
+           it != ch.out_of_order.end() && it->first == ch.next_expected;
+           it = ch.out_of_order.find(ch.next_expected)) {
+        out.push_back(std::move(it->second));
+        ch.out_of_order.erase(it);
+        ++ch.next_expected;
+      }
+      ch.stats.delivered += out.size();
+    }
+    cum_ack = ch.next_expected - 1;
+    ++ch.stats.acks_sent;
+  }
+  // Ack every data frame — including duplicates — so a lost ack is repaired
+  // by the sender's retransmit → our re-ack.
+  ChannelFrame ack;
+  ack.is_data = false;
+  ack.src = f.src;
+  ack.dst = f.dst;
+  ack.seq = cum_ack;
+  send_(f.dst, f.src, encode_frame(ack));
+  return out;
+}
+
+void ChannelManager::on_ack(const ChannelFrame& f, std::uint64_t now_us) {
+  Channel& ch = channel(f.src, f.dst);
+  double rtt = -1.0;
+  {
+    std::lock_guard<std::mutex> lk(ch.mu);
+    bool acked_any = false;
+    for (auto it = ch.unacked.begin();
+         it != ch.unacked.end() && it->first <= f.seq;) {
+      // Karn's rule: only frames never retransmitted give an RTT sample
+      // (a retransmitted frame's ack is ambiguous). Sample the newest.
+      if (it->second.attempts == 1 && now_us >= it->second.first_send_us)
+        rtt = static_cast<double>(now_us - it->second.first_send_us);
+      it = ch.unacked.erase(it);
+      acked_any = true;
+    }
+    if (acked_any) {
+      ch.backoff_shift = 0;
+      ch.rto_deadline_us =
+          ch.unacked.empty() ? 0 : now_us + rto_us(0);
+    }
+  }
+  if (rtt >= 0.0 && hooks_.on_rtt) hooks_.on_rtt(f.src, rtt);
+}
+
+void ChannelManager::service(PeId pe, std::uint64_t now_us) {
+  for (PeId dst = 0; dst < num_pes_; ++dst) {
+    Channel& ch = channel(pe, dst);
+    std::vector<Bytes> resend;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> notes;  // seq,attempt
+    {
+      std::lock_guard<std::mutex> lk(ch.mu);
+      if (ch.unacked.empty() || now_us < ch.rto_deadline_us) continue;
+      std::uint32_t budget = opt_.max_retransmit_batch
+                                 ? opt_.max_retransmit_batch
+                                 : 1;
+      for (auto& [seq, u] : ch.unacked) {
+        if (budget-- == 0) break;
+        ++u.attempts;
+        resend.push_back(u.frame);
+        notes.emplace_back(seq, u.attempts);
+      }
+      ch.stats.retransmits += resend.size();
+      if (ch.backoff_shift < 63) ++ch.backoff_shift;
+      ch.rto_deadline_us = now_us + rto_us(ch.backoff_shift);
+    }
+    for (std::size_t i = 0; i < resend.size(); ++i) {
+      if (hooks_.on_retransmit)
+        hooks_.on_retransmit(pe, dst, notes[i].first, notes[i].second);
+      send_(pe, dst, std::move(resend[i]));
+    }
+  }
+}
+
+ChannelManager::Stats ChannelManager::stats() const {
+  Stats total;
+  for (const auto& chp : channels_) {
+    const Channel& ch = *chp;
+    std::lock_guard<std::mutex> lk(ch.mu);
+    total.data_sent += ch.stats.data_sent;
+    total.retransmits += ch.stats.retransmits;
+    total.delivered += ch.stats.delivered;
+    total.dup_suppressed += ch.stats.dup_suppressed;
+    total.acks_sent += ch.stats.acks_sent;
+    total.decode_errors += ch.stats.decode_errors;
+    total.unacked += ch.unacked.size();
+  }
+  return total;
+}
+
+std::uint64_t ChannelManager::unacked(PeId src, PeId dst) const {
+  const Channel& ch = channel(src, dst);
+  std::lock_guard<std::mutex> lk(ch.mu);
+  return ch.unacked.size();
+}
+
+}  // namespace dgr

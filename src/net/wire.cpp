@@ -17,21 +17,37 @@ std::vector<std::uint8_t> encode_task(const Task& t) {
   return w.take();
 }
 
-Task decode_task(const std::vector<std::uint8_t>& bytes) {
+std::optional<Task> try_decode_task(const std::vector<std::uint8_t>& bytes) {
   ByteReader r(bytes);
   Task t;
-  t.kind = static_cast<TaskKind>(r.u8());
-  t.plane = static_cast<Plane>(r.u8());
+  const std::uint8_t kind = r.u8();
+  const std::uint8_t plane = r.u8();
   t.prior = r.u8();
-  t.demand = static_cast<ReqKind>(r.u8());
+  const std::uint8_t demand = r.u8();
   t.pool_prior = r.u8();
   t.d = r.vid();
   t.s = r.vid();
-  t.value.kind = static_cast<ValueKind>(r.u8());
+  const std::uint8_t vkind = r.u8();
   t.value.i = r.i64();
   t.value.node = r.vid();
-  DGR_CHECK_MSG(r.done(), "trailing bytes in task message");
+  if (!r.done()) return std::nullopt;  // short read or trailing bytes
+  // Range-check every enum field before the cast: a flipped byte must yield
+  // a decode error, not an out-of-range enum loose in the marker.
+  if (kind > static_cast<std::uint8_t>(TaskKind::kPeAck)) return std::nullopt;
+  if (plane > static_cast<std::uint8_t>(Plane::kT)) return std::nullopt;
+  if (demand > static_cast<std::uint8_t>(ReqKind::kVital)) return std::nullopt;
+  if (vkind > static_cast<std::uint8_t>(ValueKind::kNil)) return std::nullopt;
+  t.kind = static_cast<TaskKind>(kind);
+  t.plane = static_cast<Plane>(plane);
+  t.demand = static_cast<ReqKind>(demand);
+  t.value.kind = static_cast<ValueKind>(vkind);
   return t;
+}
+
+Task decode_task(const std::vector<std::uint8_t>& bytes) {
+  std::optional<Task> t = try_decode_task(bytes);
+  DGR_CHECK_MSG(t.has_value(), "malformed task message");
+  return *t;
 }
 
 }  // namespace dgr

@@ -3,10 +3,17 @@
 // The threaded engine enforces the paper's "local store only, communicating
 // via messages" discipline by serializing every cross-PE task to bytes and
 // deserializing on the receiving PE — no shared in-memory task objects.
+//
+// ByteReader is *recoverable*: reading past the end of the buffer (a
+// truncated or corrupted message, e.g. from the fault plane's truncate-bytes
+// mode) sets a sticky failure flag and yields zeros instead of aborting the
+// PE thread. Decoders check ok() and reject the message; the reliable
+// channel then recovers it by retransmission (net/reliable_channel.h).
 #pragma once
 
 #include <cstdint>
 #include <cstring>
+#include <optional>
 #include <vector>
 
 #include "core/task.h"
@@ -39,7 +46,10 @@ class ByteReader {
  public:
   explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
   std::uint8_t u8() {
-    DGR_CHECK(pos_ < buf_.size());
+    if (!ok_ || pos_ >= buf_.size()) {
+      ok_ = false;
+      return 0;
+    }
     return buf_[pos_++];
   }
   std::uint32_t u32() {
@@ -63,20 +73,35 @@ class ByteReader {
     v.idx = u32();
     return v;
   }
-  bool done() const { return pos_ == buf_.size(); }
+  // False once any read ran past the end of the buffer (sticky).
+  bool ok() const { return ok_; }
+  bool done() const { return ok_ && pos_ == buf_.size(); }
+  std::size_t remaining() const { return ok_ ? buf_.size() - pos_ : 0; }
 
  private:
   void raw(void* p, std::size_t n) {
-    DGR_CHECK(pos_ + n <= buf_.size());
+    if (!ok_ || pos_ + n > buf_.size()) {
+      ok_ = false;
+      std::memset(p, 0, n);
+      return;
+    }
     std::memcpy(p, buf_.data() + pos_, n);
     pos_ += n;
   }
   const std::vector<std::uint8_t>& buf_;
   std::size_t pos_ = 0;
+  bool ok_ = true;
 };
 
 // Task <-> bytes. Round-trip identity is covered by tests.
 std::vector<std::uint8_t> encode_task(const Task& t);
+
+// Recoverable decode: nullopt on truncated input, trailing bytes, or
+// out-of-range enum fields. Never aborts.
+std::optional<Task> try_decode_task(const std::vector<std::uint8_t>& bytes);
+
+// Trusting decode for pre-validated buffers; DGR_CHECK-aborts on malformed
+// input (the historical behavior — use try_decode_task for network bytes).
 Task decode_task(const std::vector<std::uint8_t>& bytes);
 
 }  // namespace dgr

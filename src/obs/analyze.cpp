@@ -212,6 +212,20 @@ TraceReport analyze(const std::vector<TraceEvent>& events) {
         if (CycleReport* c = scoped_cycle(e)) ++c->health_warnings;
         break;
       }
+      case EventType::kFaultInjected: {
+        if (e.a < kNumFaultKinds) ++rep.faults_injected[e.a];
+        break;
+      }
+      case EventType::kMsgRetransmit: {
+        ++rep.retransmits;
+        ++ensure_pe(e.pe).msg_retransmit;
+        break;
+      }
+      case EventType::kMsgDupSuppressed: {
+        ++rep.dup_suppressed;
+        ++ensure_pe(e.pe).msg_dup_suppressed;
+        break;
+      }
       case EventType::kCount_:
         break;
     }
@@ -300,6 +314,10 @@ bool enrich_with_metrics_json(TraceReport& report, const std::string& json) {
     PeLoad& p = report.pes[pe];
     scan_u64_after(json, at, "\"mark_tasks\":", &p.mark_tasks);
     scan_u64_after(json, at, "\"return_tasks\":", &p.return_tasks);
+    // Exact channel counts supersede the trace-derived approximation (the
+    // ring may have dropped events; older dumps lack the keys — kept as-is).
+    scan_u64_after(json, at, "\"msg_retransmit\":", &p.msg_retransmit);
+    scan_u64_after(json, at, "\"msg_dup_suppressed\":", &p.msg_dup_suppressed);
     // The deepest mailbox/queue backlog the PE ever serviced.
     const std::size_t h = json.find("\"mark_queue_depth\":", at);
     if (h != std::string::npos) {
@@ -322,7 +340,17 @@ std::string report_to_json(const TraceReport& r) {
   append_kv(out, "complete_cycles", r.complete_cycles);
   append_kv(out, "audits", r.audits);
   append_kv(out, "audit_violations", r.audit_violations);
-  out += "\"health_warnings\":{";
+  append_kv(out, "retransmits", r.retransmits);
+  append_kv(out, "dup_suppressed", r.dup_suppressed);
+  out += "\"faults_injected\":{";
+  for (std::size_t i = 0; i < kNumFaultKinds; ++i) {
+    if (i) out += ',';
+    out += '"';
+    out += fault_kind_name(static_cast<FaultKind>(i));
+    out += "\":";
+    append_u64(out, r.faults_injected[i]);
+  }
+  out += "},\"health_warnings\":{";
   for (std::size_t i = 0; i < kNumHealthKinds; ++i) {
     if (i) out += ',';
     out += '"';
@@ -387,6 +415,8 @@ std::string report_to_json(const TraceReport& r) {
     append_kv(out, "rescue_queued", p.rescue_queued);
     append_kv(out, "coop_taints", p.coop_taints);
     append_kv(out, "health_warnings", p.health_warnings);
+    append_kv(out, "msg_retransmit", p.msg_retransmit);
+    append_kv(out, "msg_dup_suppressed", p.msg_dup_suppressed);
     append_kv(out, "mark_tasks", p.mark_tasks);
     append_kv(out, "return_tasks", p.return_tasks);
     append_kv(out, "mailbox_high_water", p.mailbox_high_water, false);
@@ -485,24 +515,52 @@ std::string report_to_text(const TraceReport& r) {
   line(out, "");
   line(out, "== per-PE load ==");
   if (r.metrics_enriched)
-    line(out, "%4s %8s %8s %7s %7s %6s %8s %8s %8s", "pe", "waves", "share",
-         "cycles", "idle", "rescq", "marks", "returns", "mbox-hw");
+    line(out, "%4s %8s %8s %7s %7s %6s %8s %8s %8s %6s %6s", "pe", "waves",
+         "share", "cycles", "idle", "rescq", "marks", "returns", "mbox-hw",
+         "retx", "dupsup");
   else
-    line(out, "%4s %8s %8s %7s %7s %6s   (run with --metrics for task counts)",
-         "pe", "waves", "share", "cycles", "idle", "rescq");
+    line(out,
+         "%4s %8s %8s %7s %7s %6s %6s %6s   (run with --metrics for task "
+         "counts)",
+         "pe", "waves", "share", "cycles", "idle", "rescq", "retx", "dupsup");
   for (const PeLoad& p : r.pes) {
     if (r.metrics_enriched)
-      line(out, "%4u %8llu %7.1f%% %7llu %6.1f%% %6llu %8llu %8llu %8llu",
+      line(out,
+           "%4u %8llu %7.1f%% %7llu %6.1f%% %6llu %8llu %8llu %8llu %6llu "
+           "%6llu",
            p.pe, (unsigned long long)(p.wave_samples_r + p.wave_samples_t),
            100.0 * p.work_share, (unsigned long long)p.cycles_participated,
            100.0 * p.idle_fraction, (unsigned long long)p.rescue_queued,
            (unsigned long long)p.mark_tasks, (unsigned long long)p.return_tasks,
-           (unsigned long long)p.mailbox_high_water);
+           (unsigned long long)p.mailbox_high_water,
+           (unsigned long long)p.msg_retransmit,
+           (unsigned long long)p.msg_dup_suppressed);
     else
-      line(out, "%4u %8llu %7.1f%% %7llu %6.1f%% %6llu", p.pe,
+      line(out, "%4u %8llu %7.1f%% %7llu %6.1f%% %6llu %6llu %6llu", p.pe,
            (unsigned long long)(p.wave_samples_r + p.wave_samples_t),
            100.0 * p.work_share, (unsigned long long)p.cycles_participated,
-           100.0 * p.idle_fraction, (unsigned long long)p.rescue_queued);
+           100.0 * p.idle_fraction, (unsigned long long)p.rescue_queued,
+           (unsigned long long)p.msg_retransmit,
+           (unsigned long long)p.msg_dup_suppressed);
+  }
+
+  std::uint64_t fault_total = 0;
+  for (std::uint64_t f : r.faults_injected) fault_total += f;
+  if (fault_total || r.retransmits || r.dup_suppressed) {
+    line(out, "");
+    line(out, "== reliable delivery ==");
+    std::string fs = "faults injected:";
+    for (std::size_t i = 0; i < kNumFaultKinds; ++i) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), " %s %llu",
+                    fault_kind_name(static_cast<FaultKind>(i)),
+                    (unsigned long long)r.faults_injected[i]);
+      fs += buf;
+    }
+    line(out, "%s", fs.c_str());
+    line(out, "retransmits %llu | duplicates suppressed %llu",
+         (unsigned long long)r.retransmits,
+         (unsigned long long)r.dup_suppressed);
   }
 
   line(out, "");

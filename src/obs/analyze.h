@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fault_plane.h"  // FaultKind taxonomy (header-only)
 #include "obs/trace.h"
 
 namespace dgr::obs {
@@ -75,6 +76,11 @@ struct PeLoad {
   std::uint64_t rescue_queued = 0;
   std::uint64_t coop_taints = 0;
   std::uint64_t health_warnings = 0;
+  // Reliable-delivery attribution: retransmits by this PE as sender,
+  // duplicates it suppressed as receiver. Counted from trace events;
+  // overwritten with exact registry counts by --metrics enrichment.
+  std::uint64_t msg_retransmit = 0;
+  std::uint64_t msg_dup_suppressed = 0;
   // From --metrics enrichment (enrich_with_metrics_json); 0 until provided.
   std::uint64_t mark_tasks = 0;
   std::uint64_t return_tasks = 0;
@@ -115,6 +121,11 @@ struct TraceReport {
   std::uint64_t health_warnings[kNumHealthKinds] = {};
   std::uint64_t audits = 0;
   std::uint64_t audit_violations = 0;
+  // Reliable-delivery totals (kFaultInjected / kMsgRetransmit /
+  // kMsgDupSuppressed events; all zero on fault-free traces).
+  std::uint64_t faults_injected[kNumFaultKinds] = {};
+  std::uint64_t retransmits = 0;
+  std::uint64_t dup_suppressed = 0;
 };
 
 // Build the report from events in emission order (as from_jsonl returns

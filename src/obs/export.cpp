@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "net/fault_plane.h"  // fault_kind_name (header-only; no dgr_net link)
+
 namespace dgr::obs {
 
 namespace {
@@ -274,6 +276,21 @@ std::string to_chrome_trace(const std::vector<TraceEvent>& events,
                 health_kind_name(static_cast<HealthKind>(
                     e.a < kNumHealthKinds ? e.a : kNumHealthKinds)),
             e.ts, e.pe, one_arg("detail", e.b));
+        break;
+      case EventType::kFaultInjected:
+        chrome_instant(
+            out,
+            std::string("fault: ") +
+                fault_kind_name(static_cast<FaultKind>(
+                    e.a < kNumFaultKinds ? e.a : kNumFaultKinds)),
+            e.ts, e.pe, one_arg("bytes", e.b));
+        break;
+      case EventType::kMsgRetransmit:
+        chrome_instant(out, "retransmit", e.ts, e.pe, one_arg("seq", e.a));
+        break;
+      case EventType::kMsgDupSuppressed:
+        chrome_instant(out, "dup_suppressed", e.ts, e.pe,
+                       one_arg("seq", e.a));
         break;
       case EventType::kCount_:
         break;

@@ -13,6 +13,13 @@ const char* counter_name(Counter c) {
     case Counter::kRemoteMessages: return "remote_messages";
     case Counter::kLocalMessages: return "local_messages";
     case Counter::kBytesSent: return "bytes_sent";
+    case Counter::kMsgDroppedInjected: return "msg_dropped_injected";
+    case Counter::kMsgDupInjected: return "msg_dup_injected";
+    case Counter::kMsgReorderedInjected: return "msg_reordered_injected";
+    case Counter::kMsgTruncatedInjected: return "msg_truncated_injected";
+    case Counter::kMsgRetransmit: return "msg_retransmit";
+    case Counter::kMsgDupSuppressed: return "msg_dup_suppressed";
+    case Counter::kMsgDecodeError: return "msg_decode_error";
     case Counter::kCount_: break;
   }
   return "?";
@@ -23,6 +30,7 @@ const char* hist_name(Hist h) {
     case Hist::kMarkQueueDepth: return "mark_queue_depth";
     case Hist::kPoolDepth: return "pool_depth";
     case Hist::kMsgLatency: return "msg_latency";
+    case Hist::kChannelRtt: return "channel_rtt_us";
     case Hist::kCount_: break;
   }
   return "?";

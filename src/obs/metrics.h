@@ -28,6 +28,15 @@ enum class Counter : std::uint8_t {
   kRemoteMessages,   // spawns crossing a PE boundary
   kLocalMessages,    // same-PE spawns
   kBytesSent,        // wire-size of remote messages
+  // Fault plane (charged to the sending PE of the affected message).
+  kMsgDroppedInjected,    // messages deleted by the fault schedule
+  kMsgDupInjected,        // messages duplicated by the fault schedule
+  kMsgReorderedInjected,  // messages held back by the fault schedule
+  kMsgTruncatedInjected,  // messages truncated by the fault schedule
+  // Reliable channel (retransmit charged to sender, the rest to receiver).
+  kMsgRetransmit,     // data frames re-sent after RTO expiry
+  kMsgDupSuppressed,  // duplicate data frames discarded by the receiver
+  kMsgDecodeError,    // frames that failed checksum/length validation
   kCount_,
 };
 inline constexpr std::size_t kNumCounters =
@@ -38,6 +47,7 @@ enum class Hist : std::uint8_t {
   kMarkQueueDepth = 0,  // marking queue / mailbox depth at service time
   kPoolDepth,           // reduction pool depth at service time
   kMsgLatency,          // cross-PE delivery latency (sim steps)
+  kChannelRtt,          // reliable-channel clean RTT samples (microseconds)
   kCount_,
 };
 inline constexpr std::size_t kNumHists = static_cast<std::size_t>(Hist::kCount_);

@@ -19,6 +19,9 @@ const char* event_name(EventType t) {
     case EventType::kCycleEnd: return "cycle_end";
     case EventType::kAudit: return "audit";
     case EventType::kHealthWarning: return "health_warning";
+    case EventType::kFaultInjected: return "fault_injected";
+    case EventType::kMsgRetransmit: return "msg_retransmit";
+    case EventType::kMsgDupSuppressed: return "dup_suppressed";
     case EventType::kCount_: break;
   }
   return "?";

@@ -30,8 +30,11 @@
     if (sink) (sink)->emit(__VA_ARGS__);     \
   } while (0)
 #else
-#define DGR_TRACE_EVENT(sink, ...) \
-  do {                             \
+// sizeof keeps the arguments "used" (no -Wunused warnings at call sites)
+// without evaluating them or referencing any symbol in the object file.
+#define DGR_TRACE_EVENT(sink, ...)              \
+  do {                                          \
+    (void)sizeof((void)(sink), __VA_ARGS__, 0); \
   } while (0)
 #endif
 
@@ -53,6 +56,9 @@ enum class EventType : std::uint8_t {
   kCycleEnd,         // controller: cycle complete          a = swept, b = expunged
   kAudit,            // engine: safe-point audit ran        a = violations, b = |GAR'|
   kHealthWarning,    // watchdog/audit: health flag         a = HealthKind, b = detail
+  kFaultInjected,    // fault plane: fault applied          pe = sender, a = FaultKind, b = bytes
+  kMsgRetransmit,    // channel: data frame re-sent         pe = sender, a = seq, b = attempt
+  kMsgDupSuppressed, // channel: duplicate discarded        pe = receiver, a = seq
   kCount_,
 };
 inline constexpr std::size_t kNumEventTypes =

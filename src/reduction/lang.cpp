@@ -376,9 +376,18 @@ std::string to_string(const Expr& e) {
     case ExprKind::kBool: return e.num ? "true" : "false";
     case ExprKind::kVar: return e.name;
     case ExprKind::kNot: return "not " + to_string(*e.kids[0]);
-    case ExprKind::kBin:
-      return "(" + to_string(*e.kids[0]) + " " + op_name(e.op) + " " +
-             to_string(*e.kids[1]) + ")";
+    case ExprKind::kBin: {
+      // Built up with += rather than one operator+ chain: GCC 12 at -O3
+      // flags the chained form with a false-positive -Wrestrict.
+      std::string s = "(";
+      s += to_string(*e.kids[0]);
+      s += ' ';
+      s += op_name(e.op);
+      s += ' ';
+      s += to_string(*e.kids[1]);
+      s += ')';
+      return s;
+    }
     case ExprKind::kIf:
       return "if " + to_string(*e.kids[0]) + " then " + to_string(*e.kids[1]) +
              " else " + to_string(*e.kids[2]);

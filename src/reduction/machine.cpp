@@ -305,7 +305,6 @@ void Machine::resolve_if(VertexId vid, std::uint8_t prio) {
     return;
   }
   ++stats_.if_resolutions;
-  const std::size_t chosen_i = pred.as_bool() ? 1 : 2;
   const std::size_t other_i = pred.as_bool() ? 2 : 1;
   // Dereference the untaken branch (§3.2): any speculative tasks below it
   // become irrelevant the moment it drops out of R.

@@ -21,8 +21,9 @@ std::shared_mutex& mutation_gate() {
 }
 }  // namespace
 
-ThreadEngine::ThreadEngine(Graph& g)
+ThreadEngine::ThreadEngine(Graph& g, NetOptions net)
     : g_(g),
+      net_(net),
       locks_(4096),
       reg_(g.num_pes()),
       t0_(std::chrono::steady_clock::now()) {
@@ -37,6 +38,50 @@ ThreadEngine::ThreadEngine(Graph& g)
     mail_.push_back(std::make_unique<Mailbox>());
     pools_.push_back(std::make_unique<TaskPool>());
     pool_mu_.push_back(std::make_unique<std::mutex>());
+  }
+  if (net_.enabled()) {
+    fault_ = std::make_unique<FaultPlane>(
+        g_.num_pes(), net_.faults,
+        [this](PeId dst, FaultPlane::Bytes msg) {
+          mail_[dst]->deliver(std::move(msg));
+        });
+    fault_->set_inject_hook(
+        [this](FaultKind k, PeId src, PeId, std::size_t bytes) {
+          static constexpr obs::Counter kFaultCounter[kNumFaultKinds] = {
+              obs::Counter::kMsgDroppedInjected,
+              obs::Counter::kMsgDupInjected,
+              obs::Counter::kMsgReorderedInjected,
+              obs::Counter::kMsgTruncatedInjected,
+          };
+          reg_.add(src, kFaultCounter[static_cast<std::size_t>(k)]);
+          DGR_TRACE_EVENT(trace_.get(), obs::EventType::kFaultInjected,
+                          Plane::kR, static_cast<std::uint16_t>(src), 0,
+                          static_cast<std::uint64_t>(k), bytes);
+        });
+    chan_ = std::make_unique<ChannelManager>(
+        g_.num_pes(), net_.reliable,
+        [this](PeId src, PeId dst, ChannelManager::Bytes frame) {
+          fault_->send(src, dst, std::move(frame));
+        });
+    ChannelManager::Hooks hooks;
+    hooks.on_retransmit = [this](PeId src, PeId, std::uint64_t seq,
+                                 std::uint32_t attempt) {
+      reg_.add(src, obs::Counter::kMsgRetransmit);
+      DGR_TRACE_EVENT(trace_.get(), obs::EventType::kMsgRetransmit, Plane::kR,
+                      static_cast<std::uint16_t>(src), 0, seq, attempt);
+    };
+    hooks.on_dup_suppressed = [this](PeId dst, PeId, std::uint64_t seq) {
+      reg_.add(dst, obs::Counter::kMsgDupSuppressed);
+      DGR_TRACE_EVENT(trace_.get(), obs::EventType::kMsgDupSuppressed,
+                      Plane::kR, static_cast<std::uint16_t>(dst), 0, seq);
+    };
+    hooks.on_decode_error = [this](PeId pe) {
+      reg_.add(pe, obs::Counter::kMsgDecodeError);
+    };
+    hooks.on_rtt = [this](PeId src, double rtt_us) {
+      reg_.observe(src, obs::Hist::kChannelRtt, rtt_us);
+    };
+    chan_->set_hooks(std::move(hooks));
   }
 }
 
@@ -82,7 +127,10 @@ void ThreadEngine::spawn(Task t) {
     std::vector<std::uint8_t> bytes = encode_task(t);
     reg_.add(src, obs::Counter::kBytesSent, bytes.size());
     outstanding_.fetch_add(1, std::memory_order_acq_rel);
-    mail_[t.d.pe]->deliver(std::move(bytes));
+    if (chan_)
+      chan_->send(src, t.d.pe, std::move(bytes), now_us());
+    else
+      mail_[t.d.pe]->deliver(std::move(bytes));
   } else {
     // Reduction tasks are inert pool workload in this engine (the full
     // reduction machine runs on the deterministic SimEngine).
@@ -98,6 +146,7 @@ void ThreadEngine::inject(Task t) {
 
 void ThreadEngine::pe_loop(PeId pe) {
   tl_pe = static_cast<int>(pe);
+  std::uint64_t frames = 0;  // for periodic timer service while busy
   while (running_.load(std::memory_order_relaxed)) {
     if (pause_.load(std::memory_order_acquire)) {
       parked_.fetch_add(1, std::memory_order_acq_rel);
@@ -115,6 +164,9 @@ void ThreadEngine::pe_loop(PeId pe) {
     }
     auto msg = mail_[pe]->try_receive();
     if (!msg) {
+      // Idle is when retransmit timers matter: a dropped frame leaves the
+      // mailbox empty until this PE re-sends it.
+      if (chan_) chan_->service(pe, now_us());
       std::this_thread::yield();
       continue;
     }
@@ -123,9 +175,27 @@ void ThreadEngine::pe_loop(PeId pe) {
     if ((reg_.get(pe, obs::Counter::kMarkTasks) & 15) == 0)
       reg_.observe(pe, obs::Hist::kMarkQueueDepth,
                    static_cast<double>(mail_[pe]->pending()));
-    const Task t = decode_task(*msg);
-    execute(pe, t);
-    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    if (chan_) {
+      // Raw frame → channel → zero or more exactly-once in-order payloads.
+      for (auto& payload : chan_->on_frame(pe, *msg, now_us())) {
+        const std::optional<Task> t = try_decode_task(payload);
+        if (!t) {
+          // Unreachable unless a checksum collision slips corruption past
+          // the frame layer; counted, and the spawn is retired so
+          // wait_quiescent cannot hang on it.
+          reg_.add(pe, obs::Counter::kMsgDecodeError);
+          outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+          continue;
+        }
+        execute(pe, *t);
+        outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      if ((++frames & 63) == 0) chan_->service(pe, now_us());
+    } else {
+      const Task t = decode_task(*msg);
+      execute(pe, t);
+      outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    }
   }
   tl_pe = -1;
 }
@@ -370,12 +440,7 @@ obs::TraceBuffer* ThreadEngine::enable_trace(std::size_t capacity) {
 #if DGR_TRACE_ENABLED
   if (!trace_) {
     trace_ = std::make_unique<obs::TraceBuffer>(capacity);
-    trace_->set_clock([this] {
-      return static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              std::chrono::steady_clock::now() - t0_)
-              .count());
-    });
+    trace_->set_clock([this] { return now_us(); });
     marker_->set_trace(trace_.get());
     mutator_->set_trace(trace_.get());
     controller_->set_trace(trace_.get());

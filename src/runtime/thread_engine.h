@@ -29,7 +29,9 @@
 #include "core/controller.h"
 #include "core/cooperation.h"
 #include "core/marker.h"
+#include "net/fault_plane.h"
 #include "net/mailbox.h"
+#include "net/reliable_channel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/pool.h"
@@ -38,6 +40,19 @@ namespace dgr {
 
 // Sorted-order acquisition of per-vertex spinlocks; RAII release.
 class VertexLocks;
+
+// Message-plane configuration. With a nonzero fault schedule (or
+// force_reliable), every marking message crosses a FaultPlane wrapped in a
+// ChannelManager: the engine sees exactly-once in-order delivery while the
+// wire drops, duplicates, reorders and truncates under it. With the default
+// (no faults), messages go straight to the destination mailbox — the
+// fault-free fast path is byte-for-byte the old one.
+struct NetOptions {
+  FaultPlaneOptions faults;
+  ReliableOptions reliable;
+  bool force_reliable = false;  // channel layer even with a zero schedule
+  bool enabled() const { return faults.spec.any() || force_reliable; }
+};
 
 // Aggregate counter view over the per-PE obs::MetricsRegistry (see
 // metrics_registry() for the per-PE breakdowns and histograms).
@@ -93,7 +108,7 @@ struct HealthReport {
 
 class ThreadEngine final : public TaskSink, public EngineHooks {
  public:
-  explicit ThreadEngine(Graph& g);
+  explicit ThreadEngine(Graph& g, NetOptions net = {});
   ~ThreadEngine() override;
 
   ThreadEngine(const ThreadEngine&) = delete;
@@ -148,6 +163,9 @@ class ThreadEngine final : public TaskSink, public EngineHooks {
                   const std::function<void()>& fn);
 
   ThreadEngineStats stats() const;
+  // Null unless NetOptions::enabled() at construction.
+  const FaultPlane* fault_plane() const { return fault_.get(); }
+  const ChannelManager* channels() const { return chan_.get(); }
   // Per-PE counters and histograms.
   obs::MetricsRegistry& metrics_registry() { return reg_; }
   const obs::MetricsRegistry& metrics_registry() const { return reg_; }
@@ -163,6 +181,13 @@ class ThreadEngine final : public TaskSink, public EngineHooks {
 
   void pe_loop(PeId pe);
   void execute(PeId pe, const Task& t);
+  // Engine clock: µs since construction (also the trace timestamp base).
+  std::uint64_t now_us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+  }
   void watchdog_loop();
   void warn(obs::HealthKind kind, std::uint16_t pe, std::uint64_t detail);
   // Runs inside the quiesce window (all PEs parked, marks unconsumed).
@@ -179,6 +204,12 @@ class ThreadEngine final : public TaskSink, public EngineHooks {
   std::unique_ptr<Controller> controller_;
 
   std::vector<std::unique_ptr<Mailbox>> mail_;
+  // Active message plane (null on the fault-free fast path). Frames flow
+  // spawn → chan_ → fault_ → mail_; pe_loop feeds raw frames back through
+  // chan_->on_frame and executes the exactly-once payload stream.
+  NetOptions net_;
+  std::unique_ptr<FaultPlane> fault_;
+  std::unique_ptr<ChannelManager> chan_;
   std::vector<std::unique_ptr<TaskPool>> pools_;  // inert reduction tasks
   std::vector<std::unique_ptr<std::mutex>> pool_mu_;
 

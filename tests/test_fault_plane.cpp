@@ -1,0 +1,189 @@
+// Fault-plane tests: the seeded schedule is deterministic (same seed ⇒
+// byte-identical delivery sequence), different seeds diverge, each fault
+// mode does what it says, and held (reordered) messages always drain.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/fault_plane.h"
+
+namespace dgr {
+namespace {
+
+using Bytes = FaultPlane::Bytes;
+
+Bytes msg(std::uint8_t tag, std::size_t n = 8) { return Bytes(n, tag); }
+
+// Record of everything a plane delivered, in order, tagged with the
+// destination — a transcript two same-seeded runs can be compared by.
+struct Transcript {
+  std::vector<std::pair<PeId, Bytes>> out;
+  FaultPlane::DeliverFn fn() {
+    return [this](PeId dst, Bytes b) { out.emplace_back(dst, std::move(b)); };
+  }
+};
+
+Transcript run_schedule(std::uint64_t seed, const FaultSpec& spec,
+                        int messages) {
+  Transcript t;
+  FaultPlaneOptions opt;
+  opt.seed = seed;
+  opt.spec = spec;
+  FaultPlane plane(2, opt, t.fn());
+  for (int i = 0; i < messages; ++i)
+    plane.send(0, 1, msg(static_cast<std::uint8_t>(i), 16));
+  plane.flush();
+  return t;
+}
+
+TEST(FaultPlane, SameSeedSameDeliverySequence) {
+  FaultSpec spec;
+  spec.drop = 0.2;
+  spec.duplicate = 0.2;
+  spec.reorder = 0.3;
+  spec.truncate = 0.15;
+  const Transcript a = run_schedule(42, spec, 500);
+  const Transcript b = run_schedule(42, spec, 500);
+  ASSERT_EQ(a.out.size(), b.out.size());
+  for (std::size_t i = 0; i < a.out.size(); ++i) {
+    EXPECT_EQ(a.out[i].first, b.out[i].first);
+    EXPECT_EQ(a.out[i].second, b.out[i].second) << "at " << i;
+  }
+}
+
+TEST(FaultPlane, DifferentSeedsDiverge) {
+  FaultSpec spec;
+  spec.drop = 0.2;
+  spec.duplicate = 0.2;
+  spec.reorder = 0.3;
+  spec.truncate = 0.15;
+  const Transcript a = run_schedule(1, spec, 500);
+  const Transcript b = run_schedule(2, spec, 500);
+  EXPECT_NE(a.out, b.out);
+}
+
+TEST(FaultPlane, NoFaultsIsPassThrough) {
+  Transcript t;
+  FaultPlane plane(2, {}, t.fn());
+  for (int i = 0; i < 100; ++i) plane.send(0, 1, msg(std::uint8_t(i)));
+  ASSERT_EQ(t.out.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(t.out[i].first, 1u);
+    EXPECT_EQ(t.out[i].second, msg(std::uint8_t(i)));
+  }
+  EXPECT_EQ(plane.stats().total_injected(), 0u);
+}
+
+TEST(FaultPlane, DropLosesMessagesAndCountsThem) {
+  FaultSpec spec;
+  spec.drop = 0.5;
+  Transcript t;
+  FaultPlaneOptions opt;
+  opt.spec = spec;
+  FaultPlane plane(2, opt, t.fn());
+  for (int i = 0; i < 1000; ++i) plane.send(0, 1, msg(1));
+  const FaultPlane::Stats s = plane.stats();
+  const std::uint64_t dropped =
+      s.injected[static_cast<std::size_t>(FaultKind::kDrop)];
+  EXPECT_GT(dropped, 300u);  // p=.5 over 1000: far from both extremes
+  EXPECT_LT(dropped, 700u);
+  EXPECT_EQ(t.out.size(), 1000u - dropped);
+  EXPECT_EQ(s.sent, 1000u);
+  EXPECT_EQ(s.delivered, t.out.size());
+}
+
+TEST(FaultPlane, DuplicateDeliversTwice) {
+  FaultSpec spec;
+  spec.duplicate = 1.0;
+  Transcript t;
+  FaultPlaneOptions opt;
+  opt.spec = spec;
+  FaultPlane plane(2, opt, t.fn());
+  plane.send(0, 1, msg(7));
+  ASSERT_EQ(t.out.size(), 2u);
+  EXPECT_EQ(t.out[0].second, msg(7));
+  EXPECT_EQ(t.out[1].second, msg(7));
+}
+
+TEST(FaultPlane, TruncateShortensButNeverGrows) {
+  FaultSpec spec;
+  spec.truncate = 1.0;
+  Transcript t;
+  FaultPlaneOptions opt;
+  opt.spec = spec;
+  FaultPlane plane(2, opt, t.fn());
+  for (int i = 0; i < 200; ++i) plane.send(0, 1, msg(9, 32));
+  ASSERT_EQ(t.out.size(), 200u);
+  bool some_shorter = false;
+  for (const auto& [dst, b] : t.out) {
+    EXPECT_LT(b.size(), 32u);  // always a strict prefix
+    if (b.size() < 32u) some_shorter = true;
+  }
+  EXPECT_TRUE(some_shorter);
+}
+
+TEST(FaultPlane, ReorderHoldsThenReleasesInWindow) {
+  FaultSpec spec;
+  spec.reorder = 1.0;
+  spec.reorder_span = 1;  // released right after the next send on the pair
+  Transcript t;
+  FaultPlaneOptions opt;
+  opt.spec = spec;
+  FaultPlane plane(2, opt, t.fn());
+  plane.send(0, 1, msg(1));
+  EXPECT_TRUE(t.out.empty());  // held
+  plane.send(0, 1, msg(2));
+  // Send 2 is itself held; send 1's countdown expired with this send.
+  ASSERT_EQ(t.out.size(), 1u);
+  EXPECT_EQ(t.out[0].second, msg(1));
+  plane.flush();  // shutdown drains the rest
+  ASSERT_EQ(t.out.size(), 2u);
+  EXPECT_EQ(t.out[1].second, msg(2));
+}
+
+TEST(FaultPlane, PairSpecOverridesDefault) {
+  FaultSpec lossy;
+  lossy.drop = 1.0;
+  Transcript t;
+  FaultPlaneOptions opt;
+  opt.spec = lossy;  // default: everything dropped
+  FaultPlane plane(3, opt, t.fn());
+  plane.set_pair_spec(0, 2, FaultSpec{});  // except 0→2, made clean
+  for (int i = 0; i < 50; ++i) {
+    plane.send(0, 1, msg(1));
+    plane.send(0, 2, msg(2));
+  }
+  ASSERT_EQ(t.out.size(), 50u);
+  for (const auto& [dst, b] : t.out) EXPECT_EQ(dst, 2u);
+  EXPECT_EQ(plane.pair_stats(0, 1)
+                .injected[static_cast<std::size_t>(FaultKind::kDrop)],
+            50u);
+  EXPECT_EQ(plane.pair_stats(0, 2).total_injected(), 0u);
+}
+
+TEST(FaultPlane, InjectHookSeesEveryFault) {
+  FaultSpec spec;
+  spec.drop = 0.3;
+  spec.duplicate = 0.3;
+  spec.truncate = 0.3;
+  std::uint64_t hook_count = 0;
+  Transcript t;
+  FaultPlaneOptions opt;
+  opt.seed = 5;
+  opt.spec = spec;
+  FaultPlane plane(2, opt, t.fn());
+  plane.set_inject_hook(
+      [&](FaultKind, PeId src, PeId dst, std::size_t) {
+        EXPECT_EQ(src, 0u);
+        EXPECT_EQ(dst, 1u);
+        ++hook_count;
+      });
+  for (int i = 0; i < 300; ++i) plane.send(0, 1, msg(1));
+  EXPECT_EQ(hook_count, plane.stats().total_injected());
+  EXPECT_GT(hook_count, 0u);
+}
+
+}  // namespace
+}  // namespace dgr
