@@ -9,7 +9,13 @@
 // and correctness is untouched (the in-transit accounting absorbs arbitrary
 // flight times). This latency tolerance is exactly the §1 argument for the
 // "completely homogeneous, diffused" computation model.
+#include <atomic>
+#include <thread>
+
 #include "bench/bench_common.h"
+#include "net/mailbox.h"
+#include "net/wire.h"
+#include "runtime/thread_engine.h"
 
 namespace dgr::bench {
 namespace {
@@ -101,6 +107,93 @@ void BM_MarkCycleLatency(benchmark::State& state) {
         run_mark(static_cast<std::uint32_t>(state.range(0)), seed++).marks);
 }
 BENCHMARK(BM_MarkCycleLatency)->Arg(0)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// Cross-PE task throughput through the threaded engine's message-plane hot
+// path: a sender thread wire-encodes marking tasks and a receiver thread
+// decodes and consumes them, pumped through a real Mailbox exactly the way
+// the PE loops do it.
+//   arg 0 — the pre-batching plane: deliver() + receive(), one queue lock
+//           and one wake per message on each side;
+//   arg 1 — the batched plane: deliver_batch() of up-to-4-KiB batches +
+//           drain(64), one lock per batch per side.
+// Identical per-task encode/decode work on both legs, so the delta is pure
+// message-plane overhead. The committed baseline
+// (bench/baselines/BENCH_latency.json) records the acceptance ratio:
+// batched tasks/s >= 1.5x unbatched.
+void BM_CrossPeTaskThroughput(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  constexpr std::size_t kTasksPerIter = 1 << 15;
+  constexpr std::size_t kBatchBytes = 4096;
+  Mailbox mb;
+  std::atomic<std::uint64_t> consumed{0};
+  std::atomic<bool> stop{false};
+  std::uint64_t sink = 0;
+  // One wire-encoded marking task, copied per send — the same
+  // one-allocation-per-message cost the engine pays on both legs.
+  const Mailbox::Bytes wire =
+      encode_task(Task::mark(Plane::kR, VertexId{0, 1}, VertexId{1, 2}, 3));
+  std::thread rx([&] {
+    std::vector<Mailbox::Bytes> buf;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (batched) {
+        buf.clear();
+        const std::size_t n = mb.drain(64, buf);
+        if (n == 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        for (const Mailbox::Bytes& m : buf) sink += m.size();
+        consumed.fetch_add(n, std::memory_order_release);
+      } else {
+        std::optional<Mailbox::Bytes> m = mb.try_receive();
+        if (!m.has_value()) {
+          std::this_thread::yield();
+          continue;
+        }
+        sink += m->size();
+        consumed.fetch_add(1, std::memory_order_release);
+      }
+    }
+  });
+  std::uint64_t produced = 0;
+  std::uint64_t batches = 0;
+  for (auto _ : state) {
+    std::vector<Mailbox::Bytes> pending;
+    std::size_t pending_bytes = 0;
+    for (std::size_t i = 0; i < kTasksPerIter; ++i) {
+      Mailbox::Bytes bytes = wire;
+      if (batched) {
+        pending_bytes += bytes.size();
+        pending.push_back(std::move(bytes));
+        if (pending_bytes >= kBatchBytes) {
+          mb.deliver_batch(std::move(pending));
+          pending.clear();
+          pending_bytes = 0;
+          ++batches;
+        }
+      } else {
+        mb.deliver(std::move(bytes));
+      }
+    }
+    if (!pending.empty()) {
+      mb.deliver_batch(std::move(pending));
+      ++batches;
+    }
+    produced += kTasksPerIter;
+    while (consumed.load(std::memory_order_acquire) < produced)
+      std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  rx.join();
+  benchmark::DoNotOptimize(sink);
+  state.counters["tasks/s"] = benchmark::Counter(
+      static_cast<double>(produced), benchmark::Counter::kIsRate);
+  state.counters["msg_batched"] = batched ? double(produced) : 0.0;
+  state.counters["batch_flushes"] = double(batches);
+  state.counters["mailbox_high_water"] = double(mb.high_water());
+}
+BENCHMARK(BM_CrossPeTaskThroughput)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 }  // namespace dgr::bench

@@ -83,6 +83,34 @@ void BM_ThreadedCycle(benchmark::State& state) {
 BENCHMARK(BM_ThreadedCycle)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// The same cycle with batching disabled (one message, one mailbox lock):
+// the --no-batch control leg. Compare against BM_ThreadedCycle at the same
+// PE count to read the coalescing win at scale.
+void BM_ThreadedCycleNoBatch(benchmark::State& state) {
+  const auto pes = static_cast<std::uint32_t>(state.range(0));
+  Graph g = make_graph(pes, 1 << 15, 7);
+  NetOptions net;
+  net.batch_bytes = 0;
+  ThreadEngine eng(g, net);
+  eng.set_root(root_of(g));
+  eng.start();
+  CycleOptions copt;
+  copt.detect_deadlock = false;
+  for (auto _ : state) {
+    eng.controller().start_cycle(copt);
+    eng.wait_cycle_done();
+  }
+  eng.stop();
+  state.counters["marks/s"] = benchmark::Counter(
+      static_cast<double>(eng.marker().stats(Plane::kR).marks),
+      benchmark::Counter::kIsRate);
+  report_obs_counters(state, eng.metrics_registry());
+  state.counters["mailbox_high_water"] =
+      double(eng.stats().mailbox_high_water);
+}
+BENCHMARK(BM_ThreadedCycleNoBatch)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 // The deterministic simulator's cycle cost for the same family, as a
 // message-count (not time) view of the algorithm.
 void BM_SimCycleSteps(benchmark::State& state) {

@@ -35,6 +35,13 @@
 //                    reliable channel (exactly-once recovery) and implies
 //                    --audit 1 unless --audit was given (docs/FAULTS.md)
 //   --fault-seed S   fault-schedule seed (default 1; deterministic per pair)
+//   --batch-bytes N  threaded audit phase: coalesce outgoing messages per
+//                    directed PE pair into batches of up to N bytes
+//                    (default 4096; see docs/PERF.md)
+//   --batch-us U     flush a partial batch once its oldest message is U
+//                    microseconds old (default 100)
+//   --no-batch       disable batching (one message per frame/delivery —
+//                    the exact pre-batching message plane)
 //
 // With --audit, any --trace/--trace-jsonl/--metrics also writes the audit
 // phase's own exports next to the sim phase's, as "<path>.audit.json[l]"
@@ -139,6 +146,12 @@ int main(int argc, char** argv) {
       net.faults.spec.reorder = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--fault-trunc") && i + 1 < argc) {
       net.faults.spec.truncate = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--batch-bytes") && i + 1 < argc) {
+      net.batch_bytes = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--batch-us") && i + 1 < argc) {
+      net.batch_flush_us = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--no-batch")) {
+      net.batch_bytes = 0;  // exact pre-batching message plane
     } else if (argv[i][0] != '-' || !std::strcmp(argv[i], "-")) {
       path = argv[i];
     } else {
@@ -159,7 +172,8 @@ int main(int argc, char** argv) {
                  "[--trace-jsonl FILE] [--metrics FILE] [--audit N] "
                  "[--audit-cycles K] [--health-fatal] [--fault-seed S] "
                  "[--fault-drop P] [--fault-dup P] [--fault-reorder P] "
-                 "[--fault-trunc P] <file|->\n");
+                 "[--fault-trunc P] [--batch-bytes N] [--batch-us U] "
+                 "[--no-batch] <file|->\n");
     return 2;
   }
 #if !DGR_TRACE_ENABLED

@@ -14,9 +14,23 @@
 //              buffer that releases payloads strictly in sequence, and
 //              duplicate suppression (seq below the in-order frontier or
 //              already buffered);
-//   framing    every frame carries its payload length and an FNV-1a checksum,
-//              so a truncated or corrupted frame fails decode recoverably and
-//              is simply dropped — retransmission recovers the payload.
+//   framing    every frame carries its payload lengths and an FNV-1a
+//              checksum, so a truncated or corrupted frame fails decode
+//              recoverably and is simply dropped — retransmission recovers
+//              the payloads.
+//
+// Batching (opt-in via ReliableOptions::batch_bytes > 0): outgoing payloads
+// for each directed PE pair coalesce into a single multi-payload data frame,
+// flushed when the pending batch reaches batch_bytes or ages past
+// batch_flush_us (serviced from the owning PE's loop, or forced via flush()).
+// One frame = one sequence number = one ack, so the per-message protocol
+// cost (framing, checksum, ack traffic, mailbox crossings) amortizes over
+// the whole batch. Acks piggyback on reverse-direction data frames (the
+// `ack` field carries the receiver's cumulative frontier); standalone acks
+// are deferred up to batch_flush_us and sent from service() only when no
+// reverse data materializes. With batch_bytes == 0 the protocol degenerates
+// to exactly the unbatched PR 4 behavior: one payload per frame, an
+// immediate standalone ack per data frame.
 //
 // The manager is transport-agnostic: frames leave through a SendFn (the
 // fault plane, a bare mailbox, or a test harness) and arrive via on_frame.
@@ -40,6 +54,9 @@ struct ReliableOptions {
   std::uint64_t rto_initial_us = 300;  // first retransmit timeout
   std::uint64_t rto_max_us = 20000;    // backoff cap
   std::uint32_t max_retransmit_batch = 32;  // frames re-sent per service()
+  // Batching knobs (see header comment). 0 batch_bytes = unbatched protocol.
+  std::uint32_t batch_bytes = 0;       // coalesce payloads per pair up to this
+  std::uint64_t batch_flush_us = 100;  // age cap: pending batch / deferred ack
 };
 
 // One decoded frame. `src`/`dst` identify the *data direction* of the
@@ -50,7 +67,12 @@ struct ChannelFrame {
   PeId src = 0;
   PeId dst = 0;
   std::uint64_t seq = 0;  // data: sequence number; ack: cumulative ack
-  std::vector<std::uint8_t> payload;
+  // Data frames: piggybacked cumulative ack for the reverse channel
+  // (dst → src); 0 = no information. Always 0 on standalone ack frames.
+  std::uint64_t ack = 0;
+  // Data frames carry one or more payloads, delivered as a unit in frame-
+  // sequence order. Ack frames carry none.
+  std::vector<std::vector<std::uint8_t>> payloads;
 };
 
 std::vector<std::uint8_t> encode_frame(const ChannelFrame& f);
@@ -77,6 +99,11 @@ class ChannelManager {
     // Clean (never-retransmitted) round-trip time sample for a frame sent
     // by `src` (Karn's rule: retransmitted frames yield no RTT sample).
     std::function<void(PeId src, double rtt_us)> on_rtt;
+    // A coalesced multi-payload data frame left the sender (batched mode
+    // only; fires once per flush, with the payload count and frame size).
+    std::function<void(PeId src, PeId dst, std::size_t payloads,
+                       std::size_t frame_bytes)>
+        on_batch_flush;
   };
 
   ChannelManager(std::uint32_t num_pes, ReliableOptions opt, SendFn send);
@@ -86,8 +113,15 @@ class ChannelManager {
 
   void set_hooks(Hooks h) { hooks_ = std::move(h); }
 
-  // Sender side: frame `payload`, record it unacked, hand it to SendFn.
+  // Sender side: queue `payload` for (src → dst). Unbatched: framed, recorded
+  // unacked and handed to SendFn immediately. Batched: staged in the pair's
+  // pending batch; flushed at batch_bytes, at age batch_flush_us (via
+  // service), or on flush().
   void send(PeId src, PeId dst, Bytes payload, std::uint64_t now_us);
+
+  // Force-flush every pending batch whose sender is `pe` (no-op unbatched).
+  // Call when the owning PE goes idle or parks: latency floor for stragglers.
+  void flush(PeId pe, std::uint64_t now_us);
 
   // Receiver side: feed one raw frame that arrived at `pe`. Returns the
   // payloads newly deliverable in order (possibly none: out-of-order data,
@@ -95,18 +129,21 @@ class ChannelManager {
   std::vector<Bytes> on_frame(PeId pe, const Bytes& frame,
                               std::uint64_t now_us);
 
-  // Retransmit timers for every channel whose sender is `pe`. Call from the
-  // owning PE's loop; cheap when nothing is due.
+  // Timers for PE `pe`: retransmits for channels it sends on, plus (batched
+  // mode) aged batch flushes and due deferred acks for channels it receives
+  // on. Call from the owning PE's loop; cheap when nothing is due.
   void service(PeId pe, std::uint64_t now_us);
 
   struct Stats {
-    std::uint64_t data_sent = 0;        // first transmissions
+    std::uint64_t data_sent = 0;        // first transmissions (frames)
     std::uint64_t retransmits = 0;
     std::uint64_t delivered = 0;        // payloads released in order
     std::uint64_t dup_suppressed = 0;
-    std::uint64_t acks_sent = 0;
+    std::uint64_t acks_sent = 0;        // standalone ack frames
     std::uint64_t decode_errors = 0;
     std::uint64_t unacked = 0;          // snapshot: still awaiting ack
+    std::uint64_t batch_flushes = 0;    // multi-payload frames sent
+    std::uint64_t payloads_coalesced = 0;  // payloads inside those frames
   };
   Stats stats() const;  // aggregate over all channels
   // Frames sent on (src → dst) and not yet cumulatively acked.
@@ -125,9 +162,18 @@ class ChannelManager {
     std::map<std::uint64_t, Unacked> unacked;
     std::uint64_t rto_deadline_us = 0;
     std::uint32_t backoff_shift = 0;
+    // Sender batching state: payloads staged for the next flush.
+    std::vector<Bytes> pending;
+    std::size_t pending_bytes = 0;  // payload bytes + per-payload framing
+    std::uint64_t batch_deadline_us = 0;
     // Receiver state (owned by dst's side).
     std::uint64_t next_expected = 1;
-    std::map<std::uint64_t, Bytes> out_of_order;
+    std::map<std::uint64_t, std::vector<Bytes>> out_of_order;
+    // Receiver deferred-ack state (batched mode): a standalone ack owed for
+    // data already delivered, sent by service() unless a reverse-direction
+    // data frame piggybacks it first.
+    bool ack_pending = false;
+    std::uint64_t ack_deadline_us = 0;
     // Counters (guarded by mu).
     Stats stats;
   };
@@ -141,6 +187,16 @@ class ChannelManager {
   std::uint64_t rto_us(std::uint32_t shift) const;
   std::vector<Bytes> on_data(const ChannelFrame& f, std::uint64_t now_us);
   void on_ack(const ChannelFrame& f, std::uint64_t now_us);
+  // Apply a cumulative ack `cum` against sender channel (src → dst).
+  void process_ack(PeId src, PeId dst, std::uint64_t cum, std::uint64_t now_us);
+  // Consume the reverse channel's piggyback: returns (dst → src)'s cumulative
+  // frontier and clears its deferred-ack obligation. `restore` undoes the
+  // clear when the caller ends up not sending a data frame after all.
+  std::uint64_t take_piggyback(PeId src, PeId dst, bool* had_deferred);
+  void restore_deferred_ack(PeId src, PeId dst);
+  // Seal (src → dst)'s pending batch into one data frame and transmit it.
+  void flush_pair(PeId src, PeId dst, std::uint64_t now_us);
+  void send_standalone_ack(PeId src, PeId dst, std::uint64_t cum);
 
   std::uint32_t num_pes_;
   ReliableOptions opt_;

@@ -226,6 +226,19 @@ TraceReport analyze(const std::vector<TraceEvent>& events) {
         ++ensure_pe(e.pe).msg_dup_suppressed;
         break;
       }
+      case EventType::kBatchFlush: {
+        ++rep.batch_flushes;
+        rep.msgs_batched += e.a;
+        PeLoad& p = ensure_pe(e.pe);
+        ++p.batch_flush;
+        p.msg_batched += e.a;
+        break;
+      }
+      case EventType::kBackpressureStall: {
+        ++rep.backpressure_stalls;
+        ++ensure_pe(e.pe).backpressure_stall;
+        break;
+      }
       case EventType::kCount_:
         break;
     }
@@ -318,6 +331,9 @@ bool enrich_with_metrics_json(TraceReport& report, const std::string& json) {
     // ring may have dropped events; older dumps lack the keys — kept as-is).
     scan_u64_after(json, at, "\"msg_retransmit\":", &p.msg_retransmit);
     scan_u64_after(json, at, "\"msg_dup_suppressed\":", &p.msg_dup_suppressed);
+    scan_u64_after(json, at, "\"msg_batched\":", &p.msg_batched);
+    scan_u64_after(json, at, "\"batch_flush\":", &p.batch_flush);
+    scan_u64_after(json, at, "\"backpressure_stall\":", &p.backpressure_stall);
     // The deepest mailbox/queue backlog the PE ever serviced.
     const std::size_t h = json.find("\"mark_queue_depth\":", at);
     if (h != std::string::npos) {
@@ -342,6 +358,9 @@ std::string report_to_json(const TraceReport& r) {
   append_kv(out, "audit_violations", r.audit_violations);
   append_kv(out, "retransmits", r.retransmits);
   append_kv(out, "dup_suppressed", r.dup_suppressed);
+  append_kv(out, "msgs_batched", r.msgs_batched);
+  append_kv(out, "batch_flushes", r.batch_flushes);
+  append_kv(out, "backpressure_stalls", r.backpressure_stalls);
   out += "\"faults_injected\":{";
   for (std::size_t i = 0; i < kNumFaultKinds; ++i) {
     if (i) out += ',';
@@ -417,6 +436,9 @@ std::string report_to_json(const TraceReport& r) {
     append_kv(out, "health_warnings", p.health_warnings);
     append_kv(out, "msg_retransmit", p.msg_retransmit);
     append_kv(out, "msg_dup_suppressed", p.msg_dup_suppressed);
+    append_kv(out, "msg_batched", p.msg_batched);
+    append_kv(out, "batch_flush", p.batch_flush);
+    append_kv(out, "backpressure_stall", p.backpressure_stall);
     append_kv(out, "mark_tasks", p.mark_tasks);
     append_kv(out, "return_tasks", p.return_tasks);
     append_kv(out, "mailbox_high_water", p.mailbox_high_water, false);
@@ -515,33 +537,42 @@ std::string report_to_text(const TraceReport& r) {
   line(out, "");
   line(out, "== per-PE load ==");
   if (r.metrics_enriched)
-    line(out, "%4s %8s %8s %7s %7s %6s %8s %8s %8s %6s %6s", "pe", "waves",
-         "share", "cycles", "idle", "rescq", "marks", "returns", "mbox-hw",
-         "retx", "dupsup");
+    line(out, "%4s %8s %8s %7s %7s %6s %8s %8s %8s %6s %6s %8s %6s %6s", "pe",
+         "waves", "share", "cycles", "idle", "rescq", "marks", "returns",
+         "mbox-hw", "retx", "dupsup", "batched", "bflush", "bstall");
   else
     line(out,
-         "%4s %8s %8s %7s %7s %6s %6s %6s   (run with --metrics for task "
-         "counts)",
-         "pe", "waves", "share", "cycles", "idle", "rescq", "retx", "dupsup");
+         "%4s %8s %8s %7s %7s %6s %6s %6s %8s %6s %6s   (run with --metrics "
+         "for task counts)",
+         "pe", "waves", "share", "cycles", "idle", "rescq", "retx", "dupsup",
+         "batched", "bflush", "bstall");
   for (const PeLoad& p : r.pes) {
     if (r.metrics_enriched)
       line(out,
            "%4u %8llu %7.1f%% %7llu %6.1f%% %6llu %8llu %8llu %8llu %6llu "
-           "%6llu",
+           "%6llu %8llu %6llu %6llu",
            p.pe, (unsigned long long)(p.wave_samples_r + p.wave_samples_t),
            100.0 * p.work_share, (unsigned long long)p.cycles_participated,
            100.0 * p.idle_fraction, (unsigned long long)p.rescue_queued,
            (unsigned long long)p.mark_tasks, (unsigned long long)p.return_tasks,
            (unsigned long long)p.mailbox_high_water,
            (unsigned long long)p.msg_retransmit,
-           (unsigned long long)p.msg_dup_suppressed);
+           (unsigned long long)p.msg_dup_suppressed,
+           (unsigned long long)p.msg_batched,
+           (unsigned long long)p.batch_flush,
+           (unsigned long long)p.backpressure_stall);
     else
-      line(out, "%4u %8llu %7.1f%% %7llu %6.1f%% %6llu %6llu %6llu", p.pe,
-           (unsigned long long)(p.wave_samples_r + p.wave_samples_t),
+      line(out,
+           "%4u %8llu %7.1f%% %7llu %6.1f%% %6llu %6llu %6llu %8llu %6llu "
+           "%6llu",
+           p.pe, (unsigned long long)(p.wave_samples_r + p.wave_samples_t),
            100.0 * p.work_share, (unsigned long long)p.cycles_participated,
            100.0 * p.idle_fraction, (unsigned long long)p.rescue_queued,
            (unsigned long long)p.msg_retransmit,
-           (unsigned long long)p.msg_dup_suppressed);
+           (unsigned long long)p.msg_dup_suppressed,
+           (unsigned long long)p.msg_batched,
+           (unsigned long long)p.batch_flush,
+           (unsigned long long)p.backpressure_stall);
   }
 
   std::uint64_t fault_total = 0;
@@ -561,6 +592,31 @@ std::string report_to_text(const TraceReport& r) {
     line(out, "retransmits %llu | duplicates suppressed %llu",
          (unsigned long long)r.retransmits,
          (unsigned long long)r.dup_suppressed);
+  }
+
+  // Batching rollup: trace-event totals, superseded by the exact per-PE
+  // registry counts when --metrics enrichment ran.
+  std::uint64_t msgs = r.msgs_batched;
+  std::uint64_t flushes = r.batch_flushes;
+  std::uint64_t stalls = r.backpressure_stalls;
+  if (r.metrics_enriched) {
+    msgs = flushes = stalls = 0;
+    for (const PeLoad& p : r.pes) {
+      msgs += p.msg_batched;
+      flushes += p.batch_flush;
+      stalls += p.backpressure_stall;
+    }
+  }
+  if (msgs || flushes || stalls) {
+    line(out, "");
+    line(out, "== message batching ==");
+    line(out,
+         "messages batched %llu | flushes %llu (avg %.1f msgs/flush) | "
+         "backpressure stalls %llu",
+         (unsigned long long)msgs, (unsigned long long)flushes,
+         flushes ? static_cast<double>(msgs) / static_cast<double>(flushes)
+                 : 0.0,
+         (unsigned long long)stalls);
   }
 
   line(out, "");

@@ -81,6 +81,11 @@ struct PeLoad {
   // overwritten with exact registry counts by --metrics enrichment.
   std::uint64_t msg_retransmit = 0;
   std::uint64_t msg_dup_suppressed = 0;
+  // Batched-plane attribution (this PE as sender). Counted from kBatchFlush
+  // / kBackpressureStall events; overwritten by --metrics enrichment.
+  std::uint64_t msg_batched = 0;
+  std::uint64_t batch_flush = 0;
+  std::uint64_t backpressure_stall = 0;
   // From --metrics enrichment (enrich_with_metrics_json); 0 until provided.
   std::uint64_t mark_tasks = 0;
   std::uint64_t return_tasks = 0;
@@ -126,6 +131,11 @@ struct TraceReport {
   std::uint64_t faults_injected[kNumFaultKinds] = {};
   std::uint64_t retransmits = 0;
   std::uint64_t dup_suppressed = 0;
+  // Batched-plane totals (kBatchFlush / kBackpressureStall events; all zero
+  // on unbatched traces).
+  std::uint64_t msgs_batched = 0;
+  std::uint64_t batch_flushes = 0;
+  std::uint64_t backpressure_stalls = 0;
 };
 
 // Build the report from events in emission order (as from_jsonl returns

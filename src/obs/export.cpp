@@ -292,6 +292,24 @@ std::string to_chrome_trace(const std::vector<TraceEvent>& events,
         chrome_instant(out, "dup_suppressed", e.ts, e.pe,
                        one_arg("seq", e.a));
         break;
+      case EventType::kBatchFlush: {
+        std::string args = "{\"messages\":";
+        append_u64(args, e.a);
+        args += ",\"bytes\":";
+        append_u64(args, e.b);
+        args += "}";
+        chrome_instant(out, "batch_flush", e.ts, e.pe, args);
+        break;
+      }
+      case EventType::kBackpressureStall: {
+        std::string args = "{\"dst_pe\":";
+        append_u64(args, e.a);
+        args += ",\"backlog\":";
+        append_u64(args, e.b);
+        args += "}";
+        chrome_instant(out, "backpressure_stall", e.ts, e.pe, args);
+        break;
+      }
       case EventType::kCount_:
         break;
     }

@@ -20,6 +20,9 @@ const char* counter_name(Counter c) {
     case Counter::kMsgRetransmit: return "msg_retransmit";
     case Counter::kMsgDupSuppressed: return "msg_dup_suppressed";
     case Counter::kMsgDecodeError: return "msg_decode_error";
+    case Counter::kMsgBatched: return "msg_batched";
+    case Counter::kBatchFlush: return "batch_flush";
+    case Counter::kBackpressureStall: return "backpressure_stall";
     case Counter::kCount_: break;
   }
   return "?";
@@ -31,6 +34,7 @@ const char* hist_name(Hist h) {
     case Hist::kPoolDepth: return "pool_depth";
     case Hist::kMsgLatency: return "msg_latency";
     case Hist::kChannelRtt: return "channel_rtt_us";
+    case Hist::kBatchFillPct: return "batch_fill_pct";
     case Hist::kCount_: break;
   }
   return "?";

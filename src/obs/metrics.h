@@ -37,6 +37,10 @@ enum class Counter : std::uint8_t {
   kMsgRetransmit,     // data frames re-sent after RTO expiry
   kMsgDupSuppressed,  // duplicate data frames discarded by the receiver
   kMsgDecodeError,    // frames that failed checksum/length validation
+  // Batched message plane (all charged to the sending PE).
+  kMsgBatched,         // messages that traveled inside a coalesced batch
+  kBatchFlush,         // batches flushed (size cap, age cap, or idle/park)
+  kBackpressureStall,  // spawns that stalled on a saturated peer backlog
   kCount_,
 };
 inline constexpr std::size_t kNumCounters =
@@ -48,6 +52,7 @@ enum class Hist : std::uint8_t {
   kPoolDepth,           // reduction pool depth at service time
   kMsgLatency,          // cross-PE delivery latency (sim steps)
   kChannelRtt,          // reliable-channel clean RTT samples (microseconds)
+  kBatchFillPct,        // flushed batch fill (percent of the size cap)
   kCount_,
 };
 inline constexpr std::size_t kNumHists = static_cast<std::size_t>(Hist::kCount_);

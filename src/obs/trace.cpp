@@ -22,6 +22,8 @@ const char* event_name(EventType t) {
     case EventType::kFaultInjected: return "fault_injected";
     case EventType::kMsgRetransmit: return "msg_retransmit";
     case EventType::kMsgDupSuppressed: return "dup_suppressed";
+    case EventType::kBatchFlush: return "batch_flush";
+    case EventType::kBackpressureStall: return "backpressure_stall";
     case EventType::kCount_: break;
   }
   return "?";

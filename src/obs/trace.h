@@ -59,6 +59,8 @@ enum class EventType : std::uint8_t {
   kFaultInjected,    // fault plane: fault applied          pe = sender, a = FaultKind, b = bytes
   kMsgRetransmit,    // channel: data frame re-sent         pe = sender, a = seq, b = attempt
   kMsgDupSuppressed, // channel: duplicate discarded        pe = receiver, a = seq
+  kBatchFlush,       // message plane: batch flushed        pe = sender, a = #messages, b = bytes
+  kBackpressureStall,// engine: spawn stalled on backlog    pe = sender, a = dst, b = backlog
   kCount_,
 };
 inline constexpr std::size_t kNumEventTypes =

@@ -39,6 +39,12 @@ ThreadEngine::ThreadEngine(Graph& g, NetOptions net)
     pools_.push_back(std::make_unique<TaskPool>());
     pool_mu_.push_back(std::make_unique<std::mutex>());
   }
+  out_.resize(g_.num_pes());
+  for (auto& row : out_) row.resize(g_.num_pes());
+  // One set of batching knobs end to end: the channel coalesces with the
+  // same size/age caps as the fast path.
+  net_.reliable.batch_bytes = net_.batch_bytes;
+  net_.reliable.batch_flush_us = net_.batch_flush_us;
   if (net_.enabled()) {
     fault_ = std::make_unique<FaultPlane>(
         g_.num_pes(), net_.faults,
@@ -81,6 +87,19 @@ ThreadEngine::ThreadEngine(Graph& g, NetOptions net)
     hooks.on_rtt = [this](PeId src, double rtt_us) {
       reg_.observe(src, obs::Hist::kChannelRtt, rtt_us);
     };
+    hooks.on_batch_flush = [this](PeId src, PeId, std::size_t payloads,
+                                  std::size_t frame_bytes) {
+      reg_.add(src, obs::Counter::kBatchFlush);
+      reg_.add(src, obs::Counter::kMsgBatched, payloads);
+      if (net_.batch_bytes > 0)
+        reg_.observe(src, obs::Hist::kBatchFillPct,
+                     100.0 * static_cast<double>(frame_bytes) /
+                         static_cast<double>(net_.batch_bytes));
+      DGR_TRACE_EVENT(trace_.get(), obs::EventType::kBatchFlush, Plane::kR,
+                      static_cast<std::uint16_t>(src), 0,
+                      static_cast<std::uint64_t>(payloads),
+                      static_cast<std::uint64_t>(frame_bytes));
+    };
     chan_->set_hooks(std::move(hooks));
   }
 }
@@ -121,20 +140,91 @@ void ThreadEngine::unlock_vertex(VertexId v) {
 void ThreadEngine::spawn(Task t) {
   DGR_CHECK(t.d.valid() && !t.d.is_rootpar());
   const PeId src = tl_pe >= 0 ? static_cast<PeId>(tl_pe) : t.d.pe;
-  reg_.add(src, src == t.d.pe ? obs::Counter::kLocalMessages
-                              : obs::Counter::kRemoteMessages);
-  if (task_is_marking(t.kind)) {
-    std::vector<std::uint8_t> bytes = encode_task(t);
-    reg_.add(src, obs::Counter::kBytesSent, bytes.size());
-    outstanding_.fetch_add(1, std::memory_order_acq_rel);
-    if (chan_)
-      chan_->send(src, t.d.pe, std::move(bytes), now_us());
-    else
-      mail_[t.d.pe]->deliver(std::move(bytes));
-  } else {
+  const PeId dst = t.d.pe;
+  reg_.add(src, src == dst ? obs::Counter::kLocalMessages
+                           : obs::Counter::kRemoteMessages);
+  if (!task_is_marking(t.kind)) {
     // Reduction tasks are inert pool workload in this engine (the full
     // reduction machine runs on the deterministic SimEngine).
     inject(std::move(t));
+    return;
+  }
+  std::vector<std::uint8_t> bytes = encode_task(t);
+  reg_.add(src, obs::Counter::kBytesSent, bytes.size());
+  if (src != dst) maybe_backpressure(src, dst);
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  if (chan_) {
+    chan_->send(src, dst, std::move(bytes), now_us());
+    return;
+  }
+  // Fast path. Cross-PE spawns from a PE thread stage into the per-pair
+  // batch; everything else (local spawns, external threads) delivers
+  // directly — staging rows are single-writer by construction.
+  if (net_.batch_bytes > 0 && tl_pe >= 0 && dst != static_cast<PeId>(tl_pe)) {
+    OutBatch& b = out_[src][dst];
+    if (b.msgs.empty()) b.deadline_us = now_us() + net_.batch_flush_us;
+    b.bytes += bytes.size();
+    b.msgs.push_back(std::move(bytes));
+    if (b.bytes >= net_.batch_bytes) flush_pair_fast(src, dst);
+    return;
+  }
+  mail_[dst]->deliver(std::move(bytes));
+}
+
+void ThreadEngine::maybe_backpressure(PeId src, PeId dst) {
+  if (net_.backpressure_limit == 0) return;
+  const std::uint64_t backlog = mail_[dst]->pending();
+  if (backlog <= net_.backpressure_limit) return;
+  reg_.add(src, obs::Counter::kBackpressureStall);
+  DGR_TRACE_EVENT(trace_.get(), obs::EventType::kBackpressureStall, Plane::kR,
+                  static_cast<std::uint16_t>(src), 0,
+                  static_cast<std::uint64_t>(dst), backlog);
+  // Soft and strictly bounded: this thread may hold vertex-stripe locks
+  // (globally shared hash stripes) that the congested receiver needs, so
+  // waiting indefinitely could deadlock. Yield a few times and move on.
+  for (std::uint32_t i = 0; i < net_.backpressure_spins; ++i) {
+    std::this_thread::yield();
+    if (mail_[dst]->pending() <= net_.backpressure_limit) return;
+  }
+}
+
+void ThreadEngine::flush_pair_fast(PeId src, PeId dst) {
+  OutBatch& b = out_[src][dst];
+  if (b.msgs.empty()) return;
+  const std::size_t count = b.msgs.size();
+  const std::size_t bytes = b.bytes;
+  reg_.add(src, obs::Counter::kBatchFlush);
+  reg_.add(src, obs::Counter::kMsgBatched, count);
+  reg_.observe(src, obs::Hist::kBatchFillPct,
+               100.0 * static_cast<double>(bytes) /
+                   static_cast<double>(net_.batch_bytes));
+  DGR_TRACE_EVENT(trace_.get(), obs::EventType::kBatchFlush, Plane::kR,
+                  static_cast<std::uint16_t>(src), 0,
+                  static_cast<std::uint64_t>(count),
+                  static_cast<std::uint64_t>(bytes));
+  mail_[dst]->deliver_batch(std::move(b.msgs));
+  b.msgs.clear();
+  b.bytes = 0;
+  b.deadline_us = 0;
+}
+
+void ThreadEngine::flush_outgoing(PeId pe, bool force) {
+  if (net_.batch_bytes == 0 || chan_) return;  // nothing ever staged
+  std::uint64_t now = 0;
+  bool now_set = false;
+  for (PeId dst = 0; dst < g_.num_pes(); ++dst) {
+    OutBatch& b = out_[pe][dst];
+    if (b.msgs.empty()) continue;
+    if (!force) {
+      if (b.bytes < net_.batch_bytes) {
+        if (!now_set) {
+          now = now_us();
+          now_set = true;
+        }
+        if (now < b.deadline_us) continue;
+      }
+    }
+    flush_pair_fast(pe, dst);
   }
 }
 
@@ -147,8 +237,14 @@ void ThreadEngine::inject(Task t) {
 void ThreadEngine::pe_loop(PeId pe) {
   tl_pe = static_cast<int>(pe);
   std::uint64_t frames = 0;  // for periodic timer service while busy
+  std::vector<Mailbox::Bytes> buf;  // reused drain buffer
+  const std::size_t drain_max = net_.drain_max ? net_.drain_max : 1;
   while (running_.load(std::memory_order_relaxed)) {
     if (pause_.load(std::memory_order_acquire)) {
+      // Staged marks must reach their mailboxes before this PE parks: a
+      // message wedged here would stall wave termination (and with it the
+      // quiescer) indefinitely.
+      flush_outgoing(pe, /*force=*/true);
       parked_.fetch_add(1, std::memory_order_acq_rel);
       while (pause_.load(std::memory_order_acquire) &&
              running_.load(std::memory_order_relaxed))
@@ -162,40 +258,56 @@ void ThreadEngine::pe_loop(PeId pe) {
       restructure_claim_.clear(std::memory_order_release);
       continue;
     }
-    auto msg = mail_[pe]->try_receive();
-    if (!msg) {
-      // Idle is when retransmit timers matter: a dropped frame leaves the
+    // Batch drain: take up to drain_max messages under one mailbox lock and
+    // execute the burst without further queue traffic (the bounded budget
+    // keeps pause/restructure latency and flush staleness in check).
+    buf.clear();
+    const std::size_t n = mail_[pe]->drain(drain_max, buf);
+    if (n == 0) {
+      // Idle: staged batches flush now (latency floor for stragglers), and
+      // idle is when retransmit timers matter — a dropped frame leaves the
       // mailbox empty until this PE re-sends it.
-      if (chan_) chan_->service(pe, now_us());
+      flush_outgoing(pe, /*force=*/true);
+      if (chan_) {
+        chan_->flush(pe, now_us());
+        chan_->service(pe, now_us());
+      }
       std::this_thread::yield();
       continue;
     }
-    // Sampled mailbox backlog at service time (per-PE histogram; only this
-    // thread observes its own slot, so the hist lock is uncontended).
+    // Sampled mailbox backlog at service time, once per drained burst (the
+    // per-PE hist lock is uncontended: only this thread observes its slot).
     if ((reg_.get(pe, obs::Counter::kMarkTasks) & 15) == 0)
       reg_.observe(pe, obs::Hist::kMarkQueueDepth,
-                   static_cast<double>(mail_[pe]->pending()));
+                   static_cast<double>(mail_[pe]->pending() + n));
     if (chan_) {
-      // Raw frame → channel → zero or more exactly-once in-order payloads.
-      for (auto& payload : chan_->on_frame(pe, *msg, now_us())) {
-        const std::optional<Task> t = try_decode_task(payload);
-        if (!t) {
-          // Unreachable unless a checksum collision slips corruption past
-          // the frame layer; counted, and the spawn is retired so
-          // wait_quiescent cannot hang on it.
-          reg_.add(pe, obs::Counter::kMsgDecodeError);
+      for (const auto& msg : buf) {
+        // Raw frame → channel → zero or more exactly-once in-order payloads.
+        for (auto& payload : chan_->on_frame(pe, msg, now_us())) {
+          const std::optional<Task> t = try_decode_task(payload);
+          if (!t) {
+            // Unreachable unless a checksum collision slips corruption past
+            // the frame layer; counted, and the spawn is retired so
+            // wait_quiescent cannot hang on it.
+            reg_.add(pe, obs::Counter::kMsgDecodeError);
+            outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+            continue;
+          }
+          execute(pe, *t);
           outstanding_.fetch_sub(1, std::memory_order_acq_rel);
-          continue;
         }
-        execute(pe, *t);
+        if ((++frames & 63) == 0) chan_->service(pe, now_us());
+      }
+    } else {
+      for (const auto& msg : buf) {
+        const Task t = decode_task(msg);
+        execute(pe, t);
         outstanding_.fetch_sub(1, std::memory_order_acq_rel);
       }
-      if ((++frames & 63) == 0) chan_->service(pe, now_us());
-    } else {
-      const Task t = decode_task(*msg);
-      execute(pe, t);
-      outstanding_.fetch_sub(1, std::memory_order_acq_rel);
     }
+    // Between bursts: push out size/age-ripe batches staged by the executes
+    // above (worst-case staleness is one drain_max burst + batch_flush_us).
+    flush_outgoing(pe, /*force=*/false);
   }
   tl_pe = -1;
 }
@@ -230,6 +342,10 @@ void ThreadEngine::atomically(std::initializer_list<VertexId> vs,
 }
 
 void ThreadEngine::quiesce_begin() {
+  // A PE-thread quiescer flushes its own staging row first: nothing this
+  // thread staged may sit out the safe point (belt and braces — marking has
+  // terminated, so the rows should already be empty).
+  if (tl_pe >= 0) flush_outgoing(static_cast<PeId>(tl_pe), /*force=*/true);
   // Exclusive against external mutators...
   mutation_gate().lock();
   // ...and against the PE threads (minus the caller, if it is one).
@@ -460,6 +576,9 @@ ThreadEngineStats ThreadEngine::stats() const {
   s.remote_messages = reg_.total(obs::Counter::kRemoteMessages);
   s.local_messages = reg_.total(obs::Counter::kLocalMessages);
   s.bytes_sent = reg_.total(obs::Counter::kBytesSent);
+  s.msg_batched = reg_.total(obs::Counter::kMsgBatched);
+  s.batch_flushes = reg_.total(obs::Counter::kBatchFlush);
+  s.backpressure_stalls = reg_.total(obs::Counter::kBackpressureStall);
   for (const auto& m : mail_)
     s.mailbox_high_water = std::max(s.mailbox_high_water, m->high_water());
   return s;

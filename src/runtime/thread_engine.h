@@ -45,12 +45,30 @@ class VertexLocks;
 // force_reliable), every marking message crosses a FaultPlane wrapped in a
 // ChannelManager: the engine sees exactly-once in-order delivery while the
 // wire drops, duplicates, reorders and truncates under it. With the default
-// (no faults), messages go straight to the destination mailbox — the
-// fault-free fast path is byte-for-byte the old one.
+// (no faults), messages go straight to the destination mailbox.
+//
+// Batching (on by default): cross-PE spawns coalesce per directed PE pair —
+// on the fast path into per-pair staging rows flushed to the destination
+// mailbox as one deliver_batch, on the channel path into multi-payload
+// frames (the same knobs are forwarded to ReliableOptions). A batch flushes
+// when it reaches batch_bytes, ages past batch_flush_us, or its owning PE
+// goes idle or parks; receivers drain up to drain_max messages per loop
+// pass under a single mailbox lock. batch_bytes == 0 restores the exact
+// one-message-one-delivery PR 4 plane (the --no-batch leg).
 struct NetOptions {
   FaultPlaneOptions faults;
   ReliableOptions reliable;
   bool force_reliable = false;  // channel layer even with a zero schedule
+  std::uint32_t batch_bytes = 4096;    // size cap per staged pair (0 = off)
+  std::uint32_t batch_flush_us = 100;  // age cap on a staged batch
+  std::uint32_t drain_max = 64;        // receiver: messages per drain pass
+  // Soft backpressure: a cross-PE spawn whose destination backlog exceeds
+  // the limit yields up to backpressure_spins times (counted as
+  // backpressure_stall) and then proceeds regardless. Never blocking is
+  // load-bearing: the spawner may hold vertex-stripe locks (globally shared
+  // hash stripes) that the congested receiver needs to make progress.
+  std::uint64_t backpressure_limit = 1 << 15;  // 0 disables the check
+  std::uint32_t backpressure_spins = 64;
   bool enabled() const { return faults.spec.any() || force_reliable; }
 };
 
@@ -62,6 +80,9 @@ struct ThreadEngineStats {
   std::uint64_t local_messages = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t mailbox_high_water = 0;  // deepest mailbox backlog seen
+  std::uint64_t msg_batched = 0;         // messages sent inside a batch
+  std::uint64_t batch_flushes = 0;       // batches flushed
+  std::uint64_t backpressure_stalls = 0; // spawns that hit the soft limit
 };
 
 // Safe-point auditing (§5.4.1 invariants + Property 1 accounting on the live
@@ -181,6 +202,13 @@ class ThreadEngine final : public TaskSink, public EngineHooks {
 
   void pe_loop(PeId pe);
   void execute(PeId pe, const Task& t);
+  // Fast-path batching: flush every staged pair whose sender is `pe`
+  // (force) or only the size/age-ripe ones. PE-thread-local: row `pe` of
+  // out_ is touched exclusively by its owning thread.
+  void flush_outgoing(PeId pe, bool force);
+  void flush_pair_fast(PeId src, PeId dst);
+  // Bounded yield loop when dst's backlog exceeds the soft limit.
+  void maybe_backpressure(PeId src, PeId dst);
   // Engine clock: µs since construction (also the trace timestamp base).
   std::uint64_t now_us() const {
     return static_cast<std::uint64_t>(
@@ -204,6 +232,16 @@ class ThreadEngine final : public TaskSink, public EngineHooks {
   std::unique_ptr<Controller> controller_;
 
   std::vector<std::unique_ptr<Mailbox>> mail_;
+  // Fast-path sender staging (fault-free plane only; the channel batches on
+  // its own when active). out_[src][dst] holds cross-PE marking messages
+  // awaiting a coalesced deliver_batch. No locks: row src belongs to PE
+  // thread src alone; external (tl_pe == -1) spawns bypass staging.
+  struct OutBatch {
+    std::vector<Mailbox::Bytes> msgs;
+    std::size_t bytes = 0;
+    std::uint64_t deadline_us = 0;  // set when the first message is staged
+  };
+  std::vector<std::vector<OutBatch>> out_;
   // Active message plane (null on the fault-free fast path). Frames flow
   // spawn → chan_ → fault_ → mail_; pe_loop feeds raw frames back through
   // chan_->on_frame and executes the exactly-once payload stream.

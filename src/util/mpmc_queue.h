@@ -12,18 +12,38 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace dgr {
 
 template <typename T>
 class MpmcQueue {
  public:
-  void push(T item) {
+  // Returns the queue depth immediately after the push, so callers tracking
+  // a high-water gauge need no second lock acquisition.
+  std::size_t push(T item) {
+    std::size_t depth;
     {
       std::lock_guard<std::mutex> lk(mu_);
       q_.push_back(std::move(item));
+      depth = q_.size();
     }
     cv_.notify_one();
+    return depth;
+  }
+
+  // Push a whole batch under one lock; `items` is consumed. Returns the
+  // queue depth after the last element.
+  std::size_t push_all(std::vector<T> items) {
+    if (items.empty()) return 0;
+    std::size_t depth;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (T& item : items) q_.push_back(std::move(item));
+      depth = q_.size();
+    }
+    cv_.notify_all();
+    return depth;
   }
 
   // Non-blocking pop.
@@ -33,6 +53,19 @@ class MpmcQueue {
     T item = std::move(q_.front());
     q_.pop_front();
     return item;
+  }
+
+  // Pop up to `max_n` items under one lock, appending to `out` in queue
+  // order. Returns how many were taken (0 when empty).
+  std::size_t pop_up_to(std::size_t max_n, std::vector<T>& out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t n = 0;
+    while (n < max_n && !q_.empty()) {
+      out.push_back(std::move(q_.front()));
+      q_.pop_front();
+      ++n;
+    }
+    return n;
   }
 
   // Blocking pop; returns nullopt once the queue is closed and drained.

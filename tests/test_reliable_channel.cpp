@@ -32,14 +32,16 @@ TEST(ChannelFrame, RoundTripDataAndAck) {
   d.src = 3;
   d.dst = 1;
   d.seq = 77;
-  d.payload = payload(0xAB);
+  d.ack = 12;  // piggybacked cumulative ack for the reverse channel
+  d.payloads = {payload(0xAB)};
   const std::optional<ChannelFrame> d2 = try_decode_frame(encode_frame(d));
   ASSERT_TRUE(d2.has_value());
   EXPECT_TRUE(d2->is_data);
   EXPECT_EQ(d2->src, 3u);
   EXPECT_EQ(d2->dst, 1u);
   EXPECT_EQ(d2->seq, 77u);
-  EXPECT_EQ(d2->payload, d.payload);
+  EXPECT_EQ(d2->ack, 12u);
+  EXPECT_EQ(d2->payloads, d.payloads);
 
   ChannelFrame a;
   a.is_data = false;
@@ -50,7 +52,19 @@ TEST(ChannelFrame, RoundTripDataAndAck) {
   ASSERT_TRUE(a2.has_value());
   EXPECT_FALSE(a2->is_data);
   EXPECT_EQ(a2->seq, 41u);
-  EXPECT_TRUE(a2->payload.empty());
+  EXPECT_TRUE(a2->payloads.empty());
+}
+
+TEST(ChannelFrame, RoundTripMultiPayload) {
+  ChannelFrame d;
+  d.is_data = true;
+  d.src = 0;
+  d.dst = 2;
+  d.seq = 5;
+  d.payloads = {payload(0x01), Bytes{}, payload(0x02), Bytes(1, 0xFF)};
+  const std::optional<ChannelFrame> d2 = try_decode_frame(encode_frame(d));
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_EQ(d2->payloads, d.payloads);  // order and empties preserved
 }
 
 TEST(ChannelFrame, TruncationAtEveryLengthRejected) {
@@ -58,7 +72,7 @@ TEST(ChannelFrame, TruncationAtEveryLengthRejected) {
   f.src = 0;
   f.dst = 1;
   f.seq = 9;
-  f.payload = payload(0x5C);
+  f.payloads = {payload(0x5C), payload(0x5D)};
   const Bytes full = encode_frame(f);
   for (std::size_t cut = 0; cut < full.size(); ++cut) {
     const Bytes prefix(full.begin(), full.begin() + cut);
@@ -72,7 +86,7 @@ TEST(ChannelFrame, AnySingleBitFlipRejected) {
   f.src = 2;
   f.dst = 0;
   f.seq = 1234;
-  f.payload = payload(0x11);
+  f.payloads = {payload(0x11)};
   const Bytes full = encode_frame(f);
   for (std::size_t byte = 0; byte < full.size(); ++byte) {
     Bytes bad = full;
@@ -232,6 +246,95 @@ TEST(ChannelManager, GarbageFrameCountsDecodeError) {
   EXPECT_TRUE(h.mgr->on_frame(1, Bytes{1, 2, 3}, 0).empty());
   EXPECT_EQ(errors, 1u);
   EXPECT_EQ(h.mgr->stats().decode_errors, 1u);
+}
+
+// ---- Batched protocol (ReliableOptions::batch_bytes > 0). ----
+
+TEST(ChannelBatching, SizeCapCoalescesManyPayloadsPerFrame) {
+  ReliableOptions opt;
+  opt.batch_bytes = 64;  // payload(_) stages 12 + 4 overhead = 16 bytes
+  opt.batch_flush_us = 1000;
+  Harness h(opt);
+  std::uint64_t now = 0;
+  for (std::uint8_t i = 0; i < 20; ++i) h.mgr->send(0, 1, payload(i), now);
+  h.mgr->flush(0, now);  // force the tail out
+  h.pump(1);
+  ASSERT_EQ(h.got.size(), 20u);
+  for (std::uint8_t i = 0; i < 20; ++i) EXPECT_EQ(h.got[i], payload(i));
+  const ChannelManager::Stats s = h.mgr->stats();
+  EXPECT_EQ(s.payloads_coalesced, 20u);
+  EXPECT_EQ(s.delivered, 20u);
+  // 4 payloads per size-capped flush: 5 data frames, not 20.
+  EXPECT_EQ(s.data_sent, 5u);
+  EXPECT_EQ(s.batch_flushes, 5u);
+}
+
+TEST(ChannelBatching, AgeCapFlushesAndDeferredAckGoesStandalone) {
+  ReliableOptions opt;
+  opt.batch_bytes = 1024;
+  opt.batch_flush_us = 100;
+  opt.rto_initial_us = 100000;  // keep retransmits out of the picture
+  Harness h(opt);
+  h.mgr->send(0, 1, payload(1), 0);
+  h.mgr->send(0, 1, payload(2), 0);
+  EXPECT_EQ(h.transmissions, 0u);  // staged, not sent
+  h.mgr->service(0, 50);
+  EXPECT_EQ(h.transmissions, 0u);  // younger than the age cap
+  h.mgr->service(0, 100);
+  EXPECT_EQ(h.transmissions, 1u);  // aged batch flushed as one frame
+  h.pump(100);
+  ASSERT_EQ(h.got.size(), 2u);
+  // The receiver defers its ack hoping for reverse data to piggyback on...
+  EXPECT_EQ(h.mgr->unacked(0, 1), 1u);
+  h.mgr->service(1, 150);
+  h.pump(150);
+  EXPECT_EQ(h.mgr->unacked(0, 1), 1u);  // ...not due yet...
+  h.mgr->service(1, 200);
+  h.pump(200);
+  EXPECT_EQ(h.mgr->unacked(0, 1), 0u);  // ...sent standalone at the age cap
+  EXPECT_EQ(h.mgr->stats().acks_sent, 1u);
+}
+
+TEST(ChannelBatching, AckPiggybacksOnReverseData) {
+  ReliableOptions opt;
+  opt.batch_bytes = 1024;
+  opt.batch_flush_us = 100;
+  opt.rto_initial_us = 100000;
+  Harness h(opt);
+  h.mgr->send(0, 1, payload(1), 0);
+  h.mgr->flush(0, 0);
+  h.pump(0);
+  ASSERT_EQ(h.got.size(), 1u);
+  EXPECT_EQ(h.mgr->unacked(0, 1), 1u);
+  // Reverse data inside the deferral window carries the cumulative ack.
+  h.mgr->send(1, 0, payload(2), 10);
+  h.mgr->flush(1, 10);
+  h.pump(10);
+  ASSERT_EQ(h.got.size(), 2u);
+  EXPECT_EQ(h.mgr->unacked(0, 1), 0u);         // acked by piggyback...
+  EXPECT_EQ(h.mgr->stats().acks_sent, 0u);     // ...no standalone ack frame
+  EXPECT_EQ(h.mgr->unacked(1, 0), 1u);         // reverse frame awaits its own
+}
+
+TEST(ChannelBatching, LostBatchRecoveredWholeByRetransmit) {
+  ReliableOptions opt;
+  opt.batch_bytes = 48;  // exactly three staged payloads
+  opt.batch_flush_us = 1000;
+  opt.rto_initial_us = 100;
+  Harness h(opt);
+  h.drop = {1};  // the (only) first data transmission vanishes
+  std::uint64_t now = 0;
+  for (std::uint8_t i = 0; i < 3; ++i) h.mgr->send(0, 1, payload(i), now);
+  h.pump(now);
+  EXPECT_TRUE(h.got.empty());
+  EXPECT_EQ(h.mgr->unacked(0, 1), 1u);  // one frame holds the whole batch
+  now = 200;
+  h.mgr->service(0, now);
+  h.pump(now);
+  ASSERT_EQ(h.got.size(), 3u);
+  for (std::uint8_t i = 0; i < 3; ++i) EXPECT_EQ(h.got[i], payload(i));
+  EXPECT_EQ(h.mgr->stats().retransmits, 1u);
+  EXPECT_EQ(h.mgr->stats().delivered, 3u);
 }
 
 // ---- End to end: ThreadEngine marking over an actively faulted plane. ----

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Bench-regression smoke gate: compare BENCH_*.json runs against the
+committed baselines in bench/baselines/.
+
+CI machines and the baseline machine differ (and CI runs the benches in
+--smoke mode), so absolute times are meaningless across the pair. The gate
+therefore self-normalizes: for every benchmark present in both the baseline
+and the current run it computes the ratio current/baseline, takes the MEDIAN
+ratio per bench file as that machine's speed factor, and flags only
+benchmarks that regressed by more than --max-regress RELATIVE to the median
+(default 0.25, the "fail >25%" contract). A uniform slowdown — a slower
+runner — moves every ratio equally and trips nothing; a single benchmark
+whose ratio stands out against its siblings is a real regression in that
+code path.
+
+Additionally --throughput-ratio-floor R asserts, within the CURRENT run of
+BENCH_latency.json alone (no cross-machine comparison at all), that the
+batched cross-PE throughput leg (BM_CrossPeTaskThroughput/1) beats the
+unbatched leg (/0) by at least R on the tasks/s counter. The committed
+baseline records the reference ratio from a quiet machine; CI uses a lower
+floor because --smoke measurements are noisy.
+
+Exit status: 0 clean, 1 regression or missing data, 2 usage error.
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+
+def load_runs(path):
+    """BENCH_*.json -> {benchmark name: run dict}. Raw runs only."""
+    with open(path) as f:
+        doc = json.load(f)
+    runs = {}
+    for r in doc.get("runs", []):
+        if not r.get("error", False):
+            runs[r["name"]] = r
+    return runs
+
+
+def check_file(name, base_path, cur_path, max_regress):
+    """Compare one bench file pair. Returns a list of failure strings."""
+    base = load_runs(base_path)
+    cur = load_runs(cur_path)
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        return ["%s: no shared benchmarks between baseline and current" % name]
+
+    ratios = {}
+    for bench in shared:
+        bt = base[bench]["real_time"]
+        ct = cur[bench]["real_time"]
+        if base[bench].get("time_unit") != cur[bench].get("time_unit"):
+            return ["%s: time_unit mismatch for %s" % (name, bench)]
+        if bt <= 0:
+            continue
+        ratios[bench] = ct / bt
+    if not ratios:
+        return ["%s: no comparable timings" % name]
+
+    machine = statistics.median(ratios.values())
+    failures = []
+    print("%s: %d shared benchmarks, machine factor %.3fx" %
+          (name, len(ratios), machine))
+    for bench, ratio in sorted(ratios.items()):
+        rel = ratio / machine
+        status = "ok"
+        if rel > 1.0 + max_regress:
+            status = "REGRESSED"
+            failures.append(
+                "%s: %s is %.0f%% slower than its baseline relative to the "
+                "run's median (ratio %.3f, median %.3f)" %
+                (name, bench, (rel - 1.0) * 100.0, ratio, machine))
+        print("  %-60s %8.3fx  rel %6.3f  %s" % (bench, ratio, rel, status))
+    return failures
+
+
+def check_throughput_ratio(cur_path, floor):
+    """Batched vs unbatched cross-PE throughput, current run only."""
+    cur = load_runs(cur_path)
+    legs = {}
+    for name, run in cur.items():
+        if not name.startswith("BM_CrossPeTaskThroughput/"):
+            continue
+        arg = name.split("/")[1]
+        legs[arg] = run.get("counters", {}).get("tasks/s")
+    if legs.get("0") is None or legs.get("1") is None:
+        return ["throughput-ratio: BM_CrossPeTaskThroughput legs missing "
+                "from %s" % cur_path]
+    ratio = legs["1"] / legs["0"]
+    print("throughput-ratio: batched %.3gM/s vs unbatched %.3gM/s = %.2fx "
+          "(floor %.2fx)" % (legs["1"] / 1e6, legs["0"] / 1e6, ratio, floor))
+    if ratio < floor:
+        return ["throughput-ratio: batched/unbatched = %.2fx, below the "
+                "%.2fx floor" % (ratio, floor)]
+    return []
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default="bench/baselines",
+                    help="directory of committed BENCH_*.json baselines")
+    ap.add_argument("--current", required=True,
+                    help="directory of freshly produced BENCH_*.json files")
+    ap.add_argument("--max-regress", type=float, default=0.25,
+                    help="max tolerated per-benchmark slowdown relative to "
+                         "the median machine factor (default 0.25 = 25%%)")
+    ap.add_argument("--throughput-ratio-floor", type=float, default=None,
+                    help="require batched/unbatched cross-PE tasks/s in the "
+                         "current BENCH_latency.json to be at least this")
+    args = ap.parse_args()
+
+    if not os.path.isdir(args.baseline):
+        print("no baseline directory '%s'" % args.baseline, file=sys.stderr)
+        return 2
+    baselines = sorted(f for f in os.listdir(args.baseline)
+                       if f.startswith("BENCH_") and f.endswith(".json"))
+    if not baselines:
+        print("no BENCH_*.json baselines in '%s'" % args.baseline,
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for fname in baselines:
+        cur_path = os.path.join(args.current, fname)
+        if not os.path.exists(cur_path):
+            failures.append("%s: missing from current run" % fname)
+            continue
+        failures += check_file(fname, os.path.join(args.baseline, fname),
+                               cur_path, args.max_regress)
+
+    if args.throughput_ratio_floor is not None:
+        failures += check_throughput_ratio(
+            os.path.join(args.current, "BENCH_latency.json"),
+            args.throughput_ratio_floor)
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        return 1
+    print("\nbench regression gate: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
