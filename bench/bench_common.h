@@ -24,6 +24,20 @@ namespace dgr::bench {
 inline const char* kFib =
     "def fib(n) = if n < 2 then n else fib(n - 1) + fib(n - 2);";
 
+// True when this process was invoked with --smoke (CI's bench-smoke job).
+// Benches consult it to shrink table() sweeps and per-iteration workloads so
+// every code path still runs but the whole binary finishes in seconds.
+// run_bench_main sets it too, but mains that print tables before calling
+// run_bench_main should call detect_smoke first.
+inline bool g_smoke = false;
+
+// Scan argv for --smoke (without consuming it — run_bench_main strips it).
+inline bool detect_smoke(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--smoke") g_smoke = true;
+  return g_smoke;
+}
+
 struct SimRig {
   Graph g;
   SimEngine eng;
@@ -169,21 +183,28 @@ class JsonBenchReporter : public benchmark::ConsoleReporter {
 // Shared main: console output as usual plus the BENCH_<name>.json artifact.
 //
 // `--smoke` (ours, stripped before google-benchmark sees the args) caps each
-// measurement at 0.01s so CI's bench-smoke job can exercise every bench path
-// and still produce the JSON artifacts in seconds. Numbers from a smoke run
-// are for plumbing validation only — never quote them.
-inline int run_bench_main(const char* name, int argc, char** argv) {
+// measurement at `smoke_min_time` seconds (default 0.01) so CI's bench-smoke
+// job can exercise every bench path and still produce the JSON artifacts in
+// seconds. Numbers from a smoke run are for plumbing validation only — never
+// quote them. Benches whose per-iteration cost dwarfs the default cap (one
+// iteration = pure scheduling noise) pass a larger smoke_min_time so the
+// regression gate's ratios average over a few iterations.
+inline int run_bench_main(const char* name, int argc, char** argv,
+                          const char* smoke_min_time = "0.01") {
   std::vector<char*> args(argv, argv + argc);
   bool smoke = false;
   for (auto it = args.begin(); it != args.end();) {
     if (std::string(*it) == "--smoke") {
       smoke = true;
+      g_smoke = true;
       it = args.erase(it);
     } else {
       ++it;
     }
   }
-  static char min_time[] = "--benchmark_min_time=0.01";
+  static char min_time[64];
+  std::snprintf(min_time, sizeof(min_time), "--benchmark_min_time=%s",
+                smoke_min_time);
   if (smoke) args.push_back(min_time);
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());

@@ -22,13 +22,13 @@ struct Row {
   std::uint64_t bytes;
 };
 
-Row run(bool scatter, std::uint32_t pes, std::uint64_t seed) {
+Row run(Placement placement, std::uint32_t pes, std::uint64_t seed) {
   Graph g(pes);
   SimOptions sopt;
   sopt.seed = seed;
   SimEngine eng(g, sopt);
   MachineOptions mopt;
-  mopt.scatter = scatter;
+  mopt.placement = placement;
   Machine m(g, eng.mutator(), eng,
             Program::from_source(std::string(kFib) + "def main() = fib(15);"),
             mopt);
@@ -59,32 +59,35 @@ void table() {
   std::printf("%6s %14s %12s %12s %10s %14s %8s\n", "PEs", "placement",
               "remote_msgs", "local_msgs", "remote%", "bytes", "result");
   for (std::uint32_t pes : {2u, 4u, 8u}) {
-    for (bool scatter : {false, true}) {
-      const Row r = run(scatter, pes, 11);
+    for (Placement p :
+         {Placement::kHome, Placement::kChunk, Placement::kScatter}) {
+      const Row r = run(p, pes, 11);
       const double pct = 100.0 * static_cast<double>(r.remote) /
                          static_cast<double>(r.remote + r.local);
       std::printf("%6u %14s %12llu %12llu %9.1f%% %14llu %8lld\n", pes,
-                  scatter ? "scatter" : "owner-local",
+                  placement_name(p),
                   (unsigned long long)r.remote, (unsigned long long)r.local,
                   pct, (unsigned long long)r.bytes, (long long)r.result);
     }
   }
   std::printf(
-      "\nnote: owner-local with a single entry call degenerates to one\n"
-      "partition — zero communication but zero parallelism; scatter is the\n"
-      "fine-grained dataflow end. Real partitioners live between the two,\n"
-      "which is precisely the trade-off §2 frames.\n");
+      "\nnote: home with a single entry call degenerates to one partition —\n"
+      "zero communication but zero parallelism; scatter is the fine-grained\n"
+      "dataflow end. chunk (one PE per instantiation) is the streaming\n"
+      "greedy between the two, which is precisely the trade-off §2 frames.\n");
 }
 
 void BM_Scatter(benchmark::State& state) {
   std::uint64_t seed = 1;
-  for (auto _ : state) benchmark::DoNotOptimize(run(true, 4, seed++).result);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(run(Placement::kScatter, 4, seed++).result);
 }
 BENCHMARK(BM_Scatter)->Unit(benchmark::kMillisecond);
 
 void BM_OwnerLocal(benchmark::State& state) {
   std::uint64_t seed = 1;
-  for (auto _ : state) benchmark::DoNotOptimize(run(false, 4, seed++).result);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(run(Placement::kHome, 4, seed++).result);
 }
 BENCHMARK(BM_OwnerLocal)->Unit(benchmark::kMillisecond);
 

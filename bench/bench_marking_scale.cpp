@@ -32,12 +32,15 @@ void table() {
   print_header("E8: marking throughput vs #PEs",
                "§1/§4 decentralization claim",
                "cycle wall-time falls with PEs; remote traffic grows");
-  constexpr std::uint32_t kVertices = 1 << 17;  // 131072
+  // Smoke mode shrinks the sweep (fewer vertices, PE fan capped) so CI's
+  // bench-smoke job exercises the path in well under a second per leg.
+  const std::uint32_t kVertices = g_smoke ? 1 << 13 : 1 << 17;
   std::printf("%6s %12s %14s %16s %14s\n", "PEs", "cycle_ms",
               "Mvertices/s", "remote_msgs", "bytes");
   const std::uint32_t hw = std::max(2u, std::thread::hardware_concurrency());
   for (std::uint32_t pes : {1u, 2u, 4u, 8u, 16u, 32u}) {
     if (pes > 2 * hw) break;
+    if (g_smoke && pes > 8) break;
     Graph g = make_graph(pes, kVertices, 42);
     ThreadEngine eng(g);
     eng.set_root(root_of(g));
@@ -60,35 +63,70 @@ void table() {
   }
 }
 
+// marks/s = R-marked vertices per wall-clock second. The numerator is the
+// number of vertices carrying the R mark after a cycle — invariant across PE
+// counts (every engine marks the same live set) — so the counter is a pure
+// cycle-rate: it rises iff cycles finish faster. Two deliberate choices:
+//   - NOT mark-task executions (mark_tasks): boundary-summary dedup cuts
+//     redundant re-marks, which would make the faster engine score lower;
+//   - NOT CPU-time based (kIsRate): the benchmark thread mostly condvar-waits
+//     for the PE threads, so its CPU time made slower engines look faster,
+//     inverting the 2-PE cliff in the recorded baselines.
+std::uint64_t count_marked(const Graph& g, ThreadEngine& eng) {
+  std::uint64_t marked = 0;
+  g.for_each_live([&](VertexId v) {
+    if (eng.marker().is_marked(Plane::kR, v)) ++marked;
+  });
+  return marked;
+}
+
 void BM_ThreadedCycle(benchmark::State& state) {
   const auto pes = static_cast<std::uint32_t>(state.range(0));
+  // Full-size graph even under --smoke: the CI regression gate compares
+  // per-iteration real_time against the full-mode baseline, so the workload
+  // must be identical — smoke speed comes from the 0.01s measurement cap
+  // (one ~0.2s cycle per leg), not from shrinking the graph.
   Graph g = make_graph(pes, 1 << 15, 7);
   ThreadEngine eng(g);
   eng.set_root(root_of(g));
   eng.start();
   CycleOptions copt;
   copt.detect_deadlock = false;
+  const auto t0 = std::chrono::steady_clock::now();
   for (auto _ : state) {
     eng.controller().start_cycle(copt);
     eng.wait_cycle_done();
   }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   eng.stop();
-  state.counters["marks/s"] = benchmark::Counter(
-      static_cast<double>(eng.marker().stats(Plane::kR).marks),
-      benchmark::Counter::kIsRate);
+  // Every cycle marks the same live set, so vertices marked across the loop
+  // = the final cycle's marked count × iterations.
+  state.counters["marks/s"] =
+      wall_s > 0.0
+          ? static_cast<double>(count_marked(g, eng)) *
+                static_cast<double>(state.iterations()) / wall_s
+          : 0.0;
+  state.counters["boundary_dedup"] = double(eng.stats().boundary_dedup);
+  state.counters["steal_tasks"] = double(eng.stats().steal_tasks);
+  state.counters["edge_cut"] = double(eng.stats().edge_cut);
   report_obs_counters(state, eng.metrics_registry());
   state.counters["mailbox_high_water"] =
       double(eng.stats().mailbox_high_water);
 }
+// UseRealTime: the benchmark thread mostly condvar-waits for the PE threads,
+// so sizing iterations by its CPU time would run ~100x more iterations than
+// the wall-time budget intends.
 BENCHMARK(BM_ThreadedCycle)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 // The same cycle with batching disabled (one message, one mailbox lock):
 // the --no-batch control leg. Compare against BM_ThreadedCycle at the same
 // PE count to read the coalescing win at scale.
 void BM_ThreadedCycleNoBatch(benchmark::State& state) {
   const auto pes = static_cast<std::uint32_t>(state.range(0));
-  Graph g = make_graph(pes, 1 << 15, 7);
+  Graph g = make_graph(pes, 1 << 15, 7);  // full-size: see BM_ThreadedCycle
   NetOptions net;
   net.batch_bytes = 0;
   ThreadEngine eng(g, net);
@@ -96,20 +134,27 @@ void BM_ThreadedCycleNoBatch(benchmark::State& state) {
   eng.start();
   CycleOptions copt;
   copt.detect_deadlock = false;
+  const auto t0 = std::chrono::steady_clock::now();
   for (auto _ : state) {
     eng.controller().start_cycle(copt);
     eng.wait_cycle_done();
   }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   eng.stop();
-  state.counters["marks/s"] = benchmark::Counter(
-      static_cast<double>(eng.marker().stats(Plane::kR).marks),
-      benchmark::Counter::kIsRate);
+  // Same wall-clock, marked-vertex rate as BM_ThreadedCycle (see above).
+  state.counters["marks/s"] =
+      wall_s > 0.0
+          ? static_cast<double>(count_marked(g, eng)) *
+                static_cast<double>(state.iterations()) / wall_s
+          : 0.0;
   report_obs_counters(state, eng.metrics_registry());
   state.counters["mailbox_high_water"] =
       double(eng.stats().mailbox_high_water);
 }
 BENCHMARK(BM_ThreadedCycleNoBatch)->Arg(4)->Arg(8)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 // The deterministic simulator's cycle cost for the same family, as a
 // message-count (not time) view of the algorithm.
@@ -130,13 +175,32 @@ void BM_SimCycleSteps(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_SimCycleSteps)->Arg(1000)->Arg(10000)->Arg(100000)
+BENCHMARK(BM_SimCycleSteps)->Arg(1000)->Arg(10000)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// The 100k-vertex sim leg is registered only outside --smoke: at the 0.5s
+// smoke budget it measures exactly one iteration, and a single cold
+// iteration (allocator + page-fault warmup for a 100k-vertex rig) runs
+// ~70% over the amortized full-mode baseline — pure noise for the
+// regression gate. The smaller legs keep the code path covered in CI;
+// the regression checker only compares benchmarks present in both runs.
+void register_full_only_benches() {
+  benchmark::RegisterBenchmark("BM_SimCycleSteps", BM_SimCycleSteps)
+      ->Arg(100000)
+      ->Unit(benchmark::kMillisecond);
+}
+
 }  // namespace dgr::bench
 
 int main(int argc, char** argv) {
+  if (!dgr::bench::detect_smoke(argc, argv))
+    dgr::bench::register_full_only_benches();
   dgr::bench::table();
-  return dgr::bench::run_bench_main("marking_scale", argc, argv);
+  // 0.5s smoke budget: one threaded cycle runs ~0.2s wall, so the default
+  // 0.01s cap would measure a single iteration — pure scheduling noise for
+  // the regression gate's ratios. ~3 iterations per leg keeps the whole
+  // binary under ~10s in CI and the ratios stable.
+  return dgr::bench::run_bench_main("marking_scale", argc, argv, "0.5");
 }

@@ -42,6 +42,12 @@
 //                    microseconds old (default 100)
 //   --no-batch       disable batching (one message per frame/delivery —
 //                    the exact pre-batching message plane)
+//   --partition P    instance-vertex placement: scatter (default; each
+//                    template node round-robins across PEs), home (all on
+//                    the caller's PE), chunk/greedy (one PE per
+//                    instantiation — the streaming greedy partitioner)
+//   --steal          threaded audit phase: idle PEs steal half of the
+//   --no-steal       deepest peer mailbox instead of parking (default on)
 //
 // With --audit, any --trace/--trace-jsonl/--metrics also writes the audit
 // phase's own exports next to the sim phase's, as "<path>.audit.json[l]"
@@ -100,6 +106,7 @@ int main(int argc, char** argv) {
   std::uint32_t audit_cycles = 50;
   std::uint64_t wedge_steps = 200000;
   std::uint32_t latency = 0;
+  Placement placement = Placement::kScatter;
   NetOptions net;
   const char* trace_path = nullptr;
   const char* jsonl_path = nullptr;
@@ -152,6 +159,18 @@ int main(int argc, char** argv) {
       net.batch_flush_us = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (!std::strcmp(argv[i], "--no-batch")) {
       net.batch_bytes = 0;  // exact pre-batching message plane
+    } else if (!std::strcmp(argv[i], "--partition") && i + 1 < argc) {
+      if (!parse_placement(argv[++i], &placement)) {
+        std::fprintf(stderr,
+                     "dgr_run: --partition expects scatter|home|chunk|greedy "
+                     "(got '%s')\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--steal")) {
+      net.steal = true;
+    } else if (!std::strcmp(argv[i], "--no-steal")) {
+      net.steal = false;
     } else if (argv[i][0] != '-' || !std::strcmp(argv[i], "-")) {
       path = argv[i];
     } else {
@@ -173,7 +192,8 @@ int main(int argc, char** argv) {
                  "[--audit-cycles K] [--health-fatal] [--fault-seed S] "
                  "[--fault-drop P] [--fault-dup P] [--fault-reorder P] "
                  "[--fault-trunc P] [--batch-bytes N] [--batch-us U] "
-                 "[--no-batch] <file|->\n");
+                 "[--no-batch] [--partition P] [--steal|--no-steal] "
+                 "<file|->\n");
     return 2;
   }
 #if !DGR_TRACE_ENABLED
@@ -191,6 +211,7 @@ int main(int argc, char** argv) {
   SimEngine engine(graph, sim);
   MachineOptions mopt;
   mopt.speculate_if = speculate;
+  mopt.placement = placement;
 
   std::unique_ptr<Machine> machine;
   try {

@@ -99,13 +99,17 @@ void Marker::modify(Plane plane, VertexId v, MarkPlane& m, VertexId par,
   m.prior = prior;
 
   const Vertex& vx = g_.at(v);
+  const std::uint64_t epoch = st(plane).epoch;
   if (plane == Plane::kR) {
     // M_R traces through args(v); a child is marked with
-    // min(prior, request-type(c,v)) (Fig 5-1).
+    // min(prior, request-type(c,v)) (Fig 5-1). The engine's boundary
+    // summary may veto a child whose owning PE was already sent an
+    // equal-or-stronger mark this epoch (see TaskSink::admit_mark).
     for (const ArgEdge& e : vx.args) {
       if (!e.to.valid()) continue;
       const auto child_prior = static_cast<std::uint8_t>(
           std::min<int>(prior, request_type(e.req)));
+      if (!sink_.admit_mark(plane, e.to, child_prior, epoch)) continue;
       sink_.spawn(Task::mark(plane, e.to, v, child_prior));
       ++m.mt_cnt;
     }
@@ -118,17 +122,20 @@ void Marker::modify(Plane plane, VertexId v, MarkPlane& m, VertexId par,
     // problem; the solution of [5]).
     for (VertexId r : vx.requested) {
       if (!r.valid()) continue;  // external demand "<-,v>"
+      if (!sink_.admit_mark(plane, r, 0, epoch)) continue;
       sink_.spawn(Task::mark(plane, r, v, 0));
       ++m.mt_cnt;
     }
     for (VertexId r : vx.stale_requested) {
       if (!r.valid() || !g_.at(r).live) continue;
+      if (!sink_.admit_mark(plane, r, 0, epoch)) continue;
       sink_.spawn(Task::mark(plane, r, v, 0));
       ++m.mt_cnt;
     }
     for (const ArgEdge& e : vx.args) {
-      if (e.req != ReqKind::kNone && e.req_epoch != st(plane).epoch) continue;
+      if (e.req != ReqKind::kNone && e.req_epoch != epoch) continue;
       if (!e.to.valid()) continue;
+      if (!sink_.admit_mark(plane, e.to, 0, epoch)) continue;
       sink_.spawn(Task::mark(plane, e.to, v, 0));
       ++m.mt_cnt;
     }

@@ -109,6 +109,23 @@ class TaskSink {
  public:
   virtual ~TaskSink() = default;
   virtual void spawn(Task t) = 0;
+
+  // Boundary-summary admission for a child mark the Marker is about to
+  // spawn from modify() (parent transient, mt_cnt about to be incremented).
+  // Returning false means the engine already forwarded an equal-or-stronger
+  // mark for `child` to its owning PE this epoch; the Marker then skips both
+  // the spawn and the count, which is sound because the recorded request
+  // either has not executed yet — it still holds a marking-tree count, so
+  // the plane cannot terminate before it delivers at least `prior` to the
+  // child — or has executed, leaving the child's recorded priority at or
+  // above `prior` (mark2 would return immediately). Engines without a
+  // summary table admit everything. Only modify()-spawned child marks
+  // consult this: root/rescue seeds and cooperation re-marks bypass it.
+  virtual bool admit_mark(Plane plane, VertexId child, std::uint8_t prior,
+                          std::uint64_t epoch) {
+    (void)plane, (void)child, (void)prior, (void)epoch;
+    return true;
+  }
 };
 
 }  // namespace dgr

@@ -17,53 +17,87 @@ ReqKind pick_kind(Rng& rng, const RandomGraphOptions& opt) {
 
 BuiltGraph build_random_graph(Graph& g, const RandomGraphOptions& opt) {
   DGR_CHECK(opt.num_vertices >= 1);
+  const std::uint32_t n = opt.num_vertices;
   Rng rng(opt.seed);
-  BuiltGraph out;
-  out.vertices.reserve(opt.num_vertices);
-  for (std::uint32_t i = 0; i < opt.num_vertices; ++i)
-    out.vertices.push_back(g.alloc_rr(OpCode::kData));
-  out.root = out.vertices[0];
+
+  // Phase 1: draw the whole topology in index space. The RNG call sequence
+  // is placement-independent, so every PartitionStrategy (and any PE count)
+  // sees the identical seeded graph.
+  struct EdgeDraw {
+    std::uint32_t from, to;
+    ReqKind req;
+  };
+  std::vector<EdgeDraw> edge_draws;
 
   // Split vertices into an "attached" prefix (wired below the root) and a
   // detached remainder that becomes garbage unless a task reaches it.
   const auto attached = std::max<std::uint32_t>(
-      1, static_cast<std::uint32_t>(
-             static_cast<double>(opt.num_vertices) * (1.0 - opt.p_detached)));
+      1, static_cast<std::uint32_t>(static_cast<double>(n) *
+                                    (1.0 - opt.p_detached)));
 
   // Give every attached non-root vertex one guaranteed in-edge from an
   // earlier attached vertex, so the attached region is root-connected.
+  edge_draws.reserve(attached);
   for (std::uint32_t i = 1; i < attached; ++i) {
-    const VertexId from = out.vertices[rng.below(i)];
-    connect(g, from, out.vertices[i], pick_kind(rng, opt));
+    const std::uint32_t from = rng.below(i);
+    edge_draws.push_back({from, i, pick_kind(rng, opt)});
   }
 
   // Extra random edges (possibly cyclic, possibly into the detached region).
-  const auto extra = static_cast<std::uint64_t>(
-      opt.avg_out_degree * static_cast<double>(opt.num_vertices));
+  const auto extra =
+      static_cast<std::uint64_t>(opt.avg_out_degree * static_cast<double>(n));
   for (std::uint64_t e = 0; e < extra; ++e) {
-    const VertexId from = out.vertices[rng.below(opt.num_vertices)];
-    VertexId to = out.vertices[rng.below(opt.num_vertices)];
-    if (!opt.cyclic) {
-      // Enforce a forward orientation to keep the graph acyclic.
-      std::uint32_t fi = 0, ti = 0;
-      for (std::uint32_t i = 0; i < opt.num_vertices; ++i) {
-        if (out.vertices[i] == from) fi = i;
-        if (out.vertices[i] == to) ti = i;
-      }
-      if (ti <= fi) continue;
-    }
-    connect(g, from, to, pick_kind(rng, opt));
+    const std::uint32_t from = rng.below(n);
+    const std::uint32_t to = rng.below(n);
+    // Acyclic mode keeps only forward-oriented extras.
+    if (!opt.cyclic && to <= from) continue;
+    edge_draws.push_back({from, to, pick_kind(rng, opt)});
   }
 
   // Pooled tasks; destinations across the whole vertex population so that
   // vital, eager, reserve and irrelevant tasks all occur.
+  struct TaskDraw {
+    std::uint32_t s, d;
+    bool has_s;
+  };
+  std::vector<TaskDraw> task_draws;
+  task_draws.reserve(opt.num_tasks);
   for (std::uint32_t t = 0; t < opt.num_tasks; ++t) {
-    const VertexId d = out.vertices[rng.below(opt.num_vertices)];
+    TaskDraw td{0, static_cast<std::uint32_t>(rng.below(n)), false};
     // Half the tasks have a remembered source ("<s,d>"), half are "<-,d>".
-    VertexId s = VertexId::invalid();
-    if (rng.chance(0.5)) s = out.vertices[rng.below(opt.num_vertices)];
-    out.tasks.push_back(TaskRef{s, d});
+    if (rng.chance(0.5)) {
+      td.has_s = true;
+      td.s = rng.below(n);
+    }
+    task_draws.push_back(td);
   }
+
+  // Phase 2: place and allocate. Round-robin keeps the historical alloc_rr
+  // path (including the graph's persistent rr cursor); the other strategies
+  // ask the partitioner for an explicit index→PE assignment.
+  BuiltGraph out;
+  out.vertices.reserve(n);
+  if (opt.partition == PartitionStrategy::kRoundRobin) {
+    for (std::uint32_t i = 0; i < n; ++i)
+      out.vertices.push_back(g.alloc_rr(OpCode::kData));
+  } else {
+    std::vector<IndexEdge> edges;
+    edges.reserve(edge_draws.size());
+    for (const EdgeDraw& e : edge_draws) edges.push_back({e.from, e.to});
+    const std::uint32_t cap = (n + g.num_pes() - 1) / g.num_pes();
+    const std::vector<PeId> assignment =
+        make_partitioner(opt.partition)->assign(n, g.num_pes(), edges, cap);
+    for (std::uint32_t i = 0; i < n; ++i)
+      out.vertices.push_back(g.alloc(assignment[i], OpCode::kData));
+  }
+  out.root = out.vertices[0];
+
+  for (const EdgeDraw& e : edge_draws)
+    connect(g, out.vertices[e.from], out.vertices[e.to], e.req);
+  for (const TaskDraw& td : task_draws)
+    out.tasks.push_back(TaskRef{
+        td.has_s ? out.vertices[td.s] : VertexId::invalid(),
+        out.vertices[td.d]});
   return out;
 }
 

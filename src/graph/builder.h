@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/partitioner.h"
 #include "graph/task_ref.h"
 #include "util/rng.h"
 
@@ -35,10 +36,15 @@ struct RandomGraphOptions {
   // counting cannot reclaim.
   bool cyclic = true;
   std::uint64_t seed = 1;
+  // Vertex→PE placement (see graph/partitioner.h). The topology is drawn in
+  // index space first, so every strategy sees the identical seeded graph.
+  PartitionStrategy partition = PartitionStrategy::kGreedy;
 };
 
-// Builds a random graph across all PEs of `g`. Vertices are distributed
-// round-robin so edges cross partition boundaries liberally.
+// Builds a random graph across all PEs of `g`. By default vertices are
+// placed by the greedy edge-cut-minimizing partitioner, so most edges stay
+// PE-local; choose PartitionStrategy::kRoundRobin for the adversarial
+// maximal-cut layout (every edge between index neighbors crosses a PE).
 BuiltGraph build_random_graph(Graph& g, const RandomGraphOptions& opt);
 
 // The paper's Figure 3-1: x = x + 1, embedded next to a still-busy sibling

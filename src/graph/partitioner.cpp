@@ -1,0 +1,144 @@
+#include "graph/partitioner.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace dgr {
+
+namespace {
+
+class RoundRobinPartitioner final : public Partitioner {
+ public:
+  std::vector<PeId> assign(std::uint32_t n, std::uint32_t num_pes,
+                           const std::vector<IndexEdge>&,
+                           std::uint32_t) const override {
+    std::vector<PeId> out(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+      out[i] = static_cast<PeId>(i % num_pes);
+    return out;
+  }
+};
+
+class BlockPartitioner final : public Partitioner {
+ public:
+  std::vector<PeId> assign(std::uint32_t n, std::uint32_t num_pes,
+                           const std::vector<IndexEdge>&,
+                           std::uint32_t cap_per_pe) const override {
+    // Even blocks of ceil(n / P), further clamped by the explicit cap.
+    const std::uint32_t block =
+        std::min(cap_per_pe, (n + num_pes - 1) / std::max(1u, num_pes));
+    DGR_CHECK(static_cast<std::uint64_t>(block) * num_pes >= n);
+    std::vector<PeId> out(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+      out[i] = static_cast<PeId>(std::min(i / block, num_pes - 1));
+    return out;
+  }
+};
+
+// Linear deterministic greedy (LDG, Stanton & Kliot style): stream the
+// positions in index order; each one scores every PE by how many of its
+// already-assigned neighbors live there, scaled by the PE's remaining
+// capacity, and joins the argmax (ties: least loaded, then lowest id).
+// One pass, O(n·P + m), deterministic, and bounded-imbalance by the cap.
+class GreedyPartitioner final : public Partitioner {
+ public:
+  std::vector<PeId> assign(std::uint32_t n, std::uint32_t num_pes,
+                           const std::vector<IndexEdge>& edges,
+                           std::uint32_t cap_per_pe) const override {
+    DGR_CHECK(static_cast<std::uint64_t>(cap_per_pe) * num_pes >= n);
+    // Undirected adjacency in index space.
+    std::vector<std::uint32_t> degree(n, 0);
+    for (const IndexEdge& e : edges) {
+      if (e.from >= n || e.to >= n || e.from == e.to) continue;
+      ++degree[e.from];
+      ++degree[e.to];
+    }
+    std::vector<std::uint32_t> offset(n + 1, 0);
+    for (std::uint32_t i = 0; i < n; ++i) offset[i + 1] = offset[i] + degree[i];
+    std::vector<std::uint32_t> adj(offset[n]);
+    std::vector<std::uint32_t> fill(offset.begin(), offset.end() - 1);
+    for (const IndexEdge& e : edges) {
+      if (e.from >= n || e.to >= n || e.from == e.to) continue;
+      adj[fill[e.from]++] = e.to;
+      adj[fill[e.to]++] = e.from;
+    }
+
+    std::vector<PeId> out(n, 0);
+    std::vector<std::uint32_t> load(num_pes, 0);
+    std::vector<std::uint32_t> neighbors(num_pes, 0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::fill(neighbors.begin(), neighbors.end(), 0);
+      for (std::uint32_t k = offset[i]; k < offset[i + 1]; ++k) {
+        const std::uint32_t nb = adj[k];
+        if (nb < i) ++neighbors[out[nb]];
+      }
+      std::uint32_t best = num_pes;  // sentinel: nothing picked yet
+      double best_score = -1.0;
+      for (std::uint32_t p = 0; p < num_pes; ++p) {
+        if (load[p] >= cap_per_pe) continue;
+        const double slack =
+            1.0 - static_cast<double>(load[p]) / static_cast<double>(cap_per_pe);
+        const double score = static_cast<double>(neighbors[p]) * slack;
+        if (best == num_pes || score > best_score ||
+            (score == best_score && load[p] < load[best])) {
+          best = p;
+          best_score = score;
+        }
+      }
+      DGR_CHECK_MSG(best < num_pes, "greedy partitioner ran out of capacity");
+      out[i] = static_cast<PeId>(best);
+      ++load[best];
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+const char* partition_strategy_name(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kRoundRobin: return "rr";
+    case PartitionStrategy::kBlock: return "block";
+    case PartitionStrategy::kGreedy: return "greedy";
+  }
+  return "?";
+}
+
+bool parse_partition_strategy(const std::string_view name,
+                              PartitionStrategy* out) {
+  if (name == "rr" || name == "round-robin") {
+    *out = PartitionStrategy::kRoundRobin;
+  } else if (name == "block") {
+    *out = PartitionStrategy::kBlock;
+  } else if (name == "greedy") {
+    *out = PartitionStrategy::kGreedy;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<Partitioner> make_partitioner(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kRoundRobin:
+      return std::make_unique<RoundRobinPartitioner>();
+    case PartitionStrategy::kBlock:
+      return std::make_unique<BlockPartitioner>();
+    case PartitionStrategy::kGreedy:
+      return std::make_unique<GreedyPartitioner>();
+  }
+  return std::make_unique<RoundRobinPartitioner>();
+}
+
+std::uint64_t edge_cut(const std::vector<IndexEdge>& edges,
+                       const std::vector<PeId>& assignment) {
+  std::uint64_t cut = 0;
+  for (const IndexEdge& e : edges)
+    if (e.from < assignment.size() && e.to < assignment.size() &&
+        assignment[e.from] != assignment[e.to])
+      ++cut;
+  return cut;
+}
+
+}  // namespace dgr

@@ -1,0 +1,57 @@
+// Pluggable vertex→PE placement for generated workloads.
+//
+// A partitioner works in *index space*: it sees the topology as edges
+// between vertex positions (0..n-1) before any vertex exists, and returns
+// one PE per position. The builder then allocates position i on its assigned
+// PE. Keeping assignment separate from allocation lets the same seeded
+// topology be placed under different strategies — the knob behind
+// `RandomGraphOptions::partition` and `dgr_run --partition=`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "graph/ids.h"
+
+namespace dgr {
+
+enum class PartitionStrategy : std::uint8_t {
+  kRoundRobin,  // position i → PE i mod P: maximal edge cut, perfect balance
+  kBlock,       // contiguous index ranges: good for chain/tree index orders
+  kGreedy,      // linear deterministic greedy (LDG): place each vertex with
+                // the neighbors already assigned, scaled by remaining PE
+                // capacity — low cut, bounded imbalance
+};
+
+const char* partition_strategy_name(PartitionStrategy s);
+// Accepts "rr"/"round-robin", "block", "greedy". Returns false on unknown.
+bool parse_partition_strategy(const std::string_view name,
+                              PartitionStrategy* out);
+
+// An undirected topology edge between vertex positions.
+struct IndexEdge {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+};
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  // Assign each of n positions to a PE. No PE receives more than
+  // `cap_per_pe` positions (callers size their stores accordingly);
+  // cap_per_pe * num_pes must be >= n. Deterministic for fixed inputs.
+  virtual std::vector<PeId> assign(std::uint32_t n, std::uint32_t num_pes,
+                                   const std::vector<IndexEdge>& edges,
+                                   std::uint32_t cap_per_pe) const = 0;
+};
+
+std::unique_ptr<Partitioner> make_partitioner(PartitionStrategy s);
+
+// Edges whose endpoints map to different PEs under `assignment`.
+std::uint64_t edge_cut(const std::vector<IndexEdge>& edges,
+                       const std::vector<PeId>& assignment);
+
+}  // namespace dgr

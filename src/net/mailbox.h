@@ -3,6 +3,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -41,6 +42,13 @@ class Mailbox {
   // `out` in delivery order. Returns how many were taken.
   std::size_t drain(std::size_t max_n, std::vector<Bytes>& out) {
     return q_.pop_up_to(max_n, out);
+  }
+
+  // Like drain, but parks on the queue condvar for up to `timeout_us` when
+  // empty. Idle PE threads use this instead of a yield loop.
+  std::size_t drain_wait(std::size_t max_n, std::vector<Bytes>& out,
+                         std::uint64_t timeout_us) {
+    return q_.pop_up_to_wait(max_n, out, std::chrono::microseconds(timeout_us));
   }
 
   void close() { q_.close(); }

@@ -334,6 +334,18 @@ bool enrich_with_metrics_json(TraceReport& report, const std::string& json) {
     scan_u64_after(json, at, "\"msg_batched\":", &p.msg_batched);
     scan_u64_after(json, at, "\"batch_flush\":", &p.batch_flush);
     scan_u64_after(json, at, "\"backpressure_stall\":", &p.backpressure_stall);
+    // Locality counters (older dumps lack the keys — left at zero).
+    scan_u64_after(json, at, "\"remote_messages\":", &p.remote_messages);
+    scan_u64_after(json, at, "\"local_messages\":", &p.local_messages);
+    scan_u64_after(json, at, "\"boundary_dedup\":", &p.boundary_dedup);
+    scan_u64_after(json, at, "\"steal_batches\":", &p.steal_batches);
+    scan_u64_after(json, at, "\"steal_tasks\":", &p.steal_tasks);
+    scan_u64_after(json, at, "\"edge_cut\":", &p.edge_cut);
+    scan_u64_after(json, at, "\"edges_total\":", &p.edges_total);
+    if (p.remote_messages + p.local_messages)
+      p.remote_ratio =
+          static_cast<double>(p.remote_messages) /
+          static_cast<double>(p.remote_messages + p.local_messages);
     // The deepest mailbox/queue backlog the PE ever serviced.
     const std::size_t h = json.find("\"mark_queue_depth\":", at);
     if (h != std::string::npos) {
@@ -441,7 +453,17 @@ std::string report_to_json(const TraceReport& r) {
     append_kv(out, "backpressure_stall", p.backpressure_stall);
     append_kv(out, "mark_tasks", p.mark_tasks);
     append_kv(out, "return_tasks", p.return_tasks);
-    append_kv(out, "mailbox_high_water", p.mailbox_high_water, false);
+    append_kv(out, "mailbox_high_water", p.mailbox_high_water);
+    append_kv(out, "remote_messages", p.remote_messages);
+    append_kv(out, "local_messages", p.local_messages);
+    out += "\"remote_ratio\":";
+    append_double(out, p.remote_ratio);
+    out += ',';
+    append_kv(out, "boundary_dedup", p.boundary_dedup);
+    append_kv(out, "steal_batches", p.steal_batches);
+    append_kv(out, "steal_tasks", p.steal_tasks);
+    append_kv(out, "edge_cut", p.edge_cut);
+    append_kv(out, "edges_total", p.edges_total, false);
     out += '}';
   }
   out += "],";
@@ -617,6 +639,57 @@ std::string report_to_text(const TraceReport& r) {
          flushes ? static_cast<double>(msgs) / static_cast<double>(flushes)
                  : 0.0,
          (unsigned long long)stalls);
+  }
+
+  // Locality rollup (per-PE counters exist only after --metrics enrichment;
+  // all-zero rows mean a pre-locality dump or the SimEngine).
+  std::uint64_t loc_remote = 0, loc_local = 0, loc_dedup = 0;
+  std::uint64_t loc_sbatch = 0, loc_stask = 0, loc_cut = 0, loc_edges = 0;
+  for (const PeLoad& p : r.pes) {
+    loc_remote += p.remote_messages;
+    loc_local += p.local_messages;
+    loc_dedup += p.boundary_dedup;
+    loc_sbatch += p.steal_batches;
+    loc_stask += p.steal_tasks;
+    loc_cut += p.edge_cut;
+    loc_edges += p.edges_total;
+  }
+  if (loc_remote + loc_local + loc_dedup + loc_stask + loc_edges) {
+    line(out, "");
+    line(out, "== locality ==");
+    line(out, "%4s %10s %10s %8s %10s %8s %10s %7s", "pe", "remote", "local",
+         "remote%", "dedup", "steals", "stolen", "cut%");
+    for (const PeLoad& p : r.pes) {
+      const double cut_pct =
+          p.edges_total ? 100.0 * static_cast<double>(p.edge_cut) /
+                              static_cast<double>(p.edges_total)
+                        : 0.0;
+      line(out, "%4u %10llu %10llu %7.1f%% %10llu %8llu %10llu %6.1f%%", p.pe,
+           (unsigned long long)p.remote_messages,
+           (unsigned long long)p.local_messages, 100.0 * p.remote_ratio,
+           (unsigned long long)p.boundary_dedup,
+           (unsigned long long)p.steal_batches,
+           (unsigned long long)p.steal_tasks, cut_pct);
+    }
+    std::uint64_t marks = 0;
+    for (const PeLoad& p : r.pes) marks += p.mark_tasks;
+    line(out,
+         "total: remote %llu | local %llu (%.1f%% remote, %.2f remote msgs "
+         "per mark task) | boundary dedup %llu | stolen %llu in %llu batches "
+         "| edge cut %llu/%llu (%.1f%%)",
+         (unsigned long long)loc_remote, (unsigned long long)loc_local,
+         loc_remote + loc_local
+             ? 100.0 * static_cast<double>(loc_remote) /
+                   static_cast<double>(loc_remote + loc_local)
+             : 0.0,
+         marks ? static_cast<double>(loc_remote) / static_cast<double>(marks)
+               : 0.0,
+         (unsigned long long)loc_dedup, (unsigned long long)loc_stask,
+         (unsigned long long)loc_sbatch, (unsigned long long)loc_cut,
+         (unsigned long long)loc_edges,
+         loc_edges ? 100.0 * static_cast<double>(loc_cut) /
+                         static_cast<double>(loc_edges)
+                   : 0.0);
   }
 
   line(out, "");

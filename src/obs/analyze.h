@@ -90,6 +90,18 @@ struct PeLoad {
   std::uint64_t mark_tasks = 0;
   std::uint64_t return_tasks = 0;
   std::uint64_t mailbox_high_water = 0;
+  // Locality attribution (--metrics enrichment only): spawns by this PE as
+  // sender split local/remote, boundary-summary suppressions it made as
+  // sender, steals it performed as thief, and the static edge cut over the
+  // args edges whose source vertices it owns.
+  std::uint64_t remote_messages = 0;
+  std::uint64_t local_messages = 0;
+  std::uint64_t boundary_dedup = 0;
+  std::uint64_t steal_batches = 0;
+  std::uint64_t steal_tasks = 0;
+  std::uint64_t edge_cut = 0;
+  std::uint64_t edges_total = 0;
+  double remote_ratio = 0.0;  // remote / (remote + local), 0 when no traffic
 };
 
 // Wave-propagation latency distribution for one plane: per (cycle, PE), the

@@ -2,8 +2,30 @@
 
 #include <cstdio>
 #include <functional>
+#include <thread>
 
 namespace dgr::obs {
+
+namespace {
+
+// Spin briefly with pause, then fall back to yield: a bare test_and_set
+// loop on a host with fewer cores than threads can burn a whole scheduler
+// quantum while the lock holder is descheduled.
+template <typename Slot>
+void hist_lock_acquire(Slot& s) {
+  std::uint32_t spins = 0;
+  while (s.hist_lock.test_and_set(std::memory_order_acquire)) {
+#if defined(__x86_64__)
+    if (++spins < 64) {
+      __builtin_ia32_pause();
+      continue;
+    }
+#endif
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace
 
 const char* counter_name(Counter c) {
   switch (c) {
@@ -23,6 +45,11 @@ const char* counter_name(Counter c) {
     case Counter::kMsgBatched: return "msg_batched";
     case Counter::kBatchFlush: return "batch_flush";
     case Counter::kBackpressureStall: return "backpressure_stall";
+    case Counter::kBoundaryDedup: return "boundary_dedup";
+    case Counter::kStealBatches: return "steal_batches";
+    case Counter::kStealTasks: return "steal_tasks";
+    case Counter::kEdgeCut: return "edge_cut";
+    case Counter::kEdgesTotal: return "edges_total";
     case Counter::kCount_: break;
   }
   return "?";
@@ -52,14 +79,14 @@ std::uint64_t MetricsRegistry::total(Counter c) const noexcept {
 
 void MetricsRegistry::observe(std::uint32_t pe, Hist h, double v) noexcept {
   Slot& s = slots_[pe];
-  while (s.hist_lock.test_and_set(std::memory_order_acquire)) {}
+  hist_lock_acquire(s);
   s.h[static_cast<std::size_t>(h)].add(v);
   s.hist_lock.clear(std::memory_order_release);
 }
 
 Histogram MetricsRegistry::hist(std::uint32_t pe, Hist h) const {
   const Slot& s = slots_[pe];
-  while (s.hist_lock.test_and_set(std::memory_order_acquire)) {}
+  hist_lock_acquire(s);
   Histogram copy = s.h[static_cast<std::size_t>(h)];
   s.hist_lock.clear(std::memory_order_release);
   return copy;
@@ -74,7 +101,7 @@ Histogram MetricsRegistry::merged_hist(Hist h) const {
 void MetricsRegistry::reset() {
   for (Slot& s : slots_) {
     for (auto& a : s.c) a.store(0, std::memory_order_relaxed);
-    while (s.hist_lock.test_and_set(std::memory_order_acquire)) {}
+    hist_lock_acquire(s);
     for (Histogram& hg : s.h) hg.reset();
     s.hist_lock.clear(std::memory_order_release);
   }

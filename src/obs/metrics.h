@@ -41,6 +41,13 @@ enum class Counter : std::uint8_t {
   kMsgBatched,         // messages that traveled inside a coalesced batch
   kBatchFlush,         // batches flushed (size cap, age cap, or idle/park)
   kBackpressureStall,  // spawns that stalled on a saturated peer backlog
+  // Locality plane (PR 6). Dedup is charged to the spawning PE; steals to
+  // the thief; edge counters to the PE owning the edge's source vertex.
+  kBoundaryDedup,      // remote child marks suppressed by a boundary summary
+  kStealBatches,       // idle-PE steal passes that took at least one task
+  kStealTasks,         // tasks executed by a PE other than their owner
+  kEdgeCut,            // arg edges whose endpoints live on different PEs
+  kEdgesTotal,         // all arg edges (denominator for the cut fraction)
   kCount_,
 };
 inline constexpr std::size_t kNumCounters =

@@ -1,5 +1,7 @@
 #include "reduction/machine.h"
 
+#include <string_view>
+
 #include "util/log.h"
 
 namespace dgr {
@@ -172,7 +174,11 @@ void Machine::instantiate(VertexId vid, std::uint8_t prio) {
   std::vector<VertexId> node_vid(tpl.nodes.size(), VertexId::invalid());
   std::vector<VertexId> fresh;
   fresh.reserve(tpl.nodes.size());
-  const PeId home = vid.pe;
+  // kChunk picks the instance's PE once, up front; the other policies
+  // decide per node inside pick_pe.
+  const PeId home = opt_.placement == Placement::kChunk
+                        ? static_cast<PeId>(rr_++ % g_.num_pes())
+                        : vid.pe;
   bool failed = false;
   for (std::uint32_t i = 0; i < tpl.nodes.size(); ++i) {
     if (i == root_idx) {
@@ -470,8 +476,31 @@ void Machine::runtime_error(VertexId vid, const std::string& msg) {
 }
 
 PeId Machine::pick_pe(PeId home) {
-  if (!opt_.scatter) return home;
+  if (opt_.placement != Placement::kScatter) return home;
   return static_cast<PeId>(rr_++ % g_.num_pes());
+}
+
+const char* placement_name(Placement p) {
+  switch (p) {
+    case Placement::kScatter: return "scatter";
+    case Placement::kHome: return "home";
+    case Placement::kChunk: return "chunk";
+  }
+  return "?";
+}
+
+bool parse_placement(const char* name, Placement* out) {
+  const std::string_view s = name;
+  if (s == "scatter" || s == "rr") {
+    *out = Placement::kScatter;
+  } else if (s == "home") {
+    *out = Placement::kHome;
+  } else if (s == "chunk" || s == "greedy") {
+    *out = Placement::kChunk;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace dgr

@@ -28,12 +28,25 @@
 
 namespace dgr {
 
+// Instance-vertex placement policy — the reduction machine's analogue of
+// graph/partitioner.h (template instances are allocated online, so placement
+// is a streaming decision rather than an offline assignment).
+enum class Placement : std::uint8_t {
+  kScatter,  // each template node round-robins across PEs (maximal cut)
+  kHome,     // every instance node on the call vertex's PE (zero spread)
+  kChunk,    // one PE per instantiation, round-robin — greedy locality:
+             // intra-instance edges never cross a PE, instances balance
+};
+
+const char* placement_name(Placement p);
+// Accepts "scatter"/"rr", "home", "chunk"/"greedy". Returns false otherwise.
+bool parse_placement(const char* name, Placement* out);
+
 struct MachineOptions {
   // Eagerly request both branches of every `if` (the paper's eager tasks).
   bool speculate_if = false;
-  // Scatter instance vertices round-robin across PEs (true) or allocate them
-  // on the call vertex's PE (false).
-  bool scatter = true;
+  // Where freshly instantiated template nodes land (see Placement).
+  Placement placement = Placement::kScatter;
 };
 
 struct MachineStats {

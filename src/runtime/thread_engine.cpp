@@ -41,6 +41,11 @@ ThreadEngine::ThreadEngine(Graph& g, NetOptions net)
   }
   out_.resize(g_.num_pes());
   for (auto& row : out_) row.resize(g_.num_pes());
+  bp_armed_.resize(g_.num_pes());
+  for (auto& row : bp_armed_) row.assign(g_.num_pes(), 1);  // armed
+  summary_.reserve(g_.num_pes() * 2u);
+  for (std::size_t i = 0; i < g_.num_pes() * 2u; ++i)
+    summary_.push_back(std::make_unique<BoundaryShard>());
   // One set of batching knobs end to end: the channel coalesces with the
   // same size/age caps as the fast path.
   net_.reliable.batch_bytes = net_.batch_bytes;
@@ -108,6 +113,7 @@ ThreadEngine::~ThreadEngine() { stop(); }
 
 void ThreadEngine::start() {
   if (running_.exchange(true)) return;
+  count_edge_cut();
   for (PeId pe = 0; pe < g_.num_pes(); ++pe)
     threads_.emplace_back([this, pe] { pe_loop(pe); });
   if (wd_enabled_.load(std::memory_order_acquire))
@@ -124,12 +130,19 @@ void ThreadEngine::stop() {
 
 void ThreadEngine::lock_vertex(VertexId v) {
   auto& f = locks_[lock_index(v)];
+  std::uint32_t spins = 0;
   while (f.test_and_set(std::memory_order_acquire)) {
 #if defined(__x86_64__)
-    __builtin_ia32_pause();
-#else
-    std::this_thread::yield();
+    // Bounded pause, then yield. An unbounded pause loop is correct on a
+    // dedicated core but pathological when PE threads share cores: if the
+    // holder is descheduled mid-critical-section, a pause-only spinner
+    // burns its whole scheduler quantum before the holder can run again.
+    if (++spins < 64) {
+      __builtin_ia32_pause();
+      continue;
+    }
 #endif
+    std::this_thread::yield();
   }
 }
 
@@ -174,6 +187,16 @@ void ThreadEngine::spawn(Task t) {
 void ThreadEngine::maybe_backpressure(PeId src, PeId dst) {
   if (net_.backpressure_limit == 0) return;
   const std::uint64_t backlog = mail_[dst]->pending();
+  std::uint8_t& armed = bp_armed_[src][dst];
+  if (!armed) {
+    // A congestion episode is in progress: sail through until the peer has
+    // genuinely drained (hysteresis at half the limit re-arms the pair).
+    // Yielding per message while the backlog sits above the limit is the
+    // 2-PE cliff: a steady-state mark exchange holds both mailboxes near
+    // their high-water, so every spawn paid the full spin budget.
+    if (backlog < net_.backpressure_limit / 2) armed = 1;
+    return;
+  }
   if (backlog <= net_.backpressure_limit) return;
   reg_.add(src, obs::Counter::kBackpressureStall);
   DGR_TRACE_EVENT(trace_.get(), obs::EventType::kBackpressureStall, Plane::kR,
@@ -181,11 +204,61 @@ void ThreadEngine::maybe_backpressure(PeId src, PeId dst) {
                   static_cast<std::uint64_t>(dst), backlog);
   // Soft and strictly bounded: this thread may hold vertex-stripe locks
   // (globally shared hash stripes) that the congested receiver needs, so
-  // waiting indefinitely could deadlock. Yield a few times and move on.
+  // waiting indefinitely could deadlock. Yield a few times; if the peer is
+  // still congested, disarm and let the episode run its course.
   for (std::uint32_t i = 0; i < net_.backpressure_spins; ++i) {
     std::this_thread::yield();
     if (mail_[dst]->pending() <= net_.backpressure_limit) return;
   }
+  armed = 0;
+}
+
+bool ThreadEngine::admit_mark(Plane plane, VertexId child, std::uint8_t prior,
+                              std::uint64_t epoch) {
+  if (!net_.boundary_summary) return true;
+  // Only remote children spawned by a PE thread go through the summary:
+  // local spawns are cheap, and external callers (root seed, tests) must
+  // never be vetoed.
+  if (tl_pe < 0 || child.pe == static_cast<PeId>(tl_pe)) return true;
+  BoundaryShard& s =
+      *summary_[child.pe * 2u + (plane == Plane::kR ? 0u : 1u)];
+  bool admit = true;
+  while (s.mu.test_and_set(std::memory_order_acquire)) {
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+  }
+  if (child.idx >= s.epoch.size()) {
+    s.epoch.resize(child.idx + 1, 0);
+    s.prior.resize(child.idx + 1, 0);
+  }
+  if (s.epoch[child.idx] != epoch || prior > s.prior[child.idx]) {
+    // First request for this vertex this epoch, or a strictly stronger
+    // priority than anything forwarded so far: record and admit.
+    s.epoch[child.idx] = epoch;
+    s.prior[child.idx] = prior;
+  } else {
+    admit = false;
+  }
+  s.mu.clear(std::memory_order_release);
+  if (!admit) reg_.add(static_cast<std::uint32_t>(tl_pe),
+                       obs::Counter::kBoundaryDedup);
+  return admit;
+}
+
+void ThreadEngine::count_edge_cut() {
+  g_.for_each_live([this](VertexId v) {
+    std::uint64_t total = 0, cut = 0;
+    for (const ArgEdge& e : g_.at(v).args) {
+      if (!e.to.valid()) continue;
+      ++total;
+      if (e.to.pe != v.pe) ++cut;
+    }
+    if (total) reg_.add(v.pe, obs::Counter::kEdgesTotal, total);
+    if (cut) reg_.add(v.pe, obs::Counter::kEdgeCut, cut);
+  });
 }
 
 void ThreadEngine::flush_pair_fast(PeId src, PeId dst) {
@@ -262,7 +335,7 @@ void ThreadEngine::pe_loop(PeId pe) {
     // execute the burst without further queue traffic (the bounded budget
     // keeps pause/restructure latency and flush staleness in check).
     buf.clear();
-    const std::size_t n = mail_[pe]->drain(drain_max, buf);
+    std::size_t n = mail_[pe]->drain(drain_max, buf);
     if (n == 0) {
       // Idle: staged batches flush now (latency floor for stragglers), and
       // idle is when retransmit timers matter — a dropped frame leaves the
@@ -272,8 +345,20 @@ void ThreadEngine::pe_loop(PeId pe) {
         chan_->flush(pe, now_us());
         chan_->service(pe, now_us());
       }
-      std::this_thread::yield();
-      continue;
+      // Balance the survivors: an idle PE takes half of the deepest peer
+      // backlog instead of parking — on a congested pair this turns the
+      // ping-pong idle time into useful marking work.
+      if (net_.steal && try_steal(pe, buf)) continue;
+      // Nothing to run and nothing to steal: park on the mailbox condvar
+      // (bounded, so pause/steal/timer polls still happen) rather than
+      // yield-spinning. A polling idler on a shared core competes with the
+      // busy PEs for the timeslice that would drain the very backlog it is
+      // polling for.
+      if (net_.idle_wait_us > 0)
+        n = mail_[pe]->drain_wait(drain_max, buf, net_.idle_wait_us);
+      else
+        std::this_thread::yield();
+      if (n == 0) continue;
     }
     // Sampled mailbox backlog at service time, once per drained burst (the
     // per-PE hist lock is uncontended: only this thread observes its slot).
@@ -310,6 +395,57 @@ void ThreadEngine::pe_loop(PeId pe) {
     flush_outgoing(pe, /*force=*/false);
   }
   tl_pe = -1;
+}
+
+bool ThreadEngine::try_steal(PeId pe, std::vector<Mailbox::Bytes>& buf) {
+  PeId victim = pe;
+  std::size_t deepest = 0;
+  for (PeId v = 0; v < g_.num_pes(); ++v) {
+    if (v == pe) continue;
+    const std::size_t backlog = mail_[v]->pending();
+    if (backlog > deepest) {
+      deepest = backlog;
+      victim = v;
+    }
+  }
+  if (deepest < net_.steal_min) return false;
+  buf.clear();
+  const std::size_t want =
+      std::min<std::size_t>(deepest / 2, net_.drain_max ? net_.drain_max : 1);
+  const std::size_t n = mail_[victim]->drain(std::max<std::size_t>(want, 1),
+                                             buf);
+  if (n == 0) return false;
+  reg_.add(pe, obs::Counter::kStealBatches);
+  reg_.add(pe, obs::Counter::kStealTasks, n);
+  // Execute the stolen batch here. Location transparency makes this safe:
+  // vertex locks are global stripes, the marker touches only t.d under its
+  // lock, counters are charged to the executing PE, and the channel/fault
+  // planes serialize internally — a stolen frame still runs through
+  // on_frame(victim, ...) so the (src → victim) receiver state stays
+  // exactly-once regardless of which thread processes it.
+  if (chan_) {
+    for (const auto& msg : buf) {
+      for (auto& payload : chan_->on_frame(victim, msg, now_us())) {
+        const std::optional<Task> t = try_decode_task(payload);
+        if (!t) {
+          reg_.add(pe, obs::Counter::kMsgDecodeError);
+          outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+          continue;
+        }
+        execute(pe, *t);
+        outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    }
+  } else {
+    for (const auto& msg : buf) {
+      execute(pe, decode_task(msg));
+      outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+  // Children spawned by the stolen tasks staged into this thief's rows;
+  // push the ripe ones out before the next poll.
+  flush_outgoing(pe, /*force=*/false);
+  return true;
 }
 
 void ThreadEngine::execute(PeId pe, const Task& t) {
@@ -579,6 +715,11 @@ ThreadEngineStats ThreadEngine::stats() const {
   s.msg_batched = reg_.total(obs::Counter::kMsgBatched);
   s.batch_flushes = reg_.total(obs::Counter::kBatchFlush);
   s.backpressure_stalls = reg_.total(obs::Counter::kBackpressureStall);
+  s.boundary_dedup = reg_.total(obs::Counter::kBoundaryDedup);
+  s.steal_batches = reg_.total(obs::Counter::kStealBatches);
+  s.steal_tasks = reg_.total(obs::Counter::kStealTasks);
+  s.edge_cut = reg_.total(obs::Counter::kEdgeCut);
+  s.edges_total = reg_.total(obs::Counter::kEdgesTotal);
   for (const auto& m : mail_)
     s.mailbox_high_water = std::max(s.mailbox_high_water, m->high_water());
   return s;

@@ -62,13 +62,38 @@ struct NetOptions {
   std::uint32_t batch_bytes = 4096;    // size cap per staged pair (0 = off)
   std::uint32_t batch_flush_us = 100;  // age cap on a staged batch
   std::uint32_t drain_max = 64;        // receiver: messages per drain pass
-  // Soft backpressure: a cross-PE spawn whose destination backlog exceeds
-  // the limit yields up to backpressure_spins times (counted as
-  // backpressure_stall) and then proceeds regardless. Never blocking is
+  // Soft backpressure, edge-triggered per directed PE pair: the first spawn
+  // that finds the destination backlog over the limit yields up to
+  // backpressure_spins times (counted as backpressure_stall) and, if the
+  // peer is still congested, disarms the pair — subsequent spawns proceed
+  // at full speed until the backlog falls below half the limit, which
+  // re-arms it. One stall episode per congestion event, not one per
+  // message: a per-message yield loop is exactly the ping-pong stall that
+  // produced the 2-PE cliff (see docs/PERF.md). Never blocking is
   // load-bearing: the spawner may hold vertex-stripe locks (globally shared
   // hash stripes) that the congested receiver needs to make progress.
   std::uint64_t backpressure_limit = 1 << 15;  // 0 disables the check
   std::uint32_t backpressure_spins = 64;
+  // Boundary summaries: per-(destination PE, plane) tables recording the
+  // strongest mark priority already forwarded per remote vertex this epoch;
+  // duplicate remote child marks are suppressed at the sender (counted as
+  // boundary_dedup), so each remote vertex is requested at most once per
+  // wave and priority level instead of once per cross-partition edge.
+  bool boundary_summary = true;
+  // Work stealing: a PE whose mailbox is empty drains up to half (capped at
+  // drain_max) of the deepest peer backlog and executes the batch itself
+  // instead of parking. Sound because task execution is location-
+  // transparent here: vertex locks are global stripes, counters are per-
+  // executing-PE, and the channel/fault planes take their own locks.
+  bool steal = true;
+  std::uint64_t steal_min = 16;  // don't steal below this victim backlog
+  // Idle parking: a PE with an empty mailbox and nothing stealable blocks
+  // on its mailbox condvar for at most this long (0 = yield-spin instead).
+  // Bounded so pause requests, steal opportunities and retransmit timers
+  // are still polled; parking matters most on hosts with fewer cores than
+  // PEs, where a yield-spinning idler competes with the busy PEs for the
+  // timeslice that would produce its next message.
+  std::uint32_t idle_wait_us = 100;
   bool enabled() const { return faults.spec.any() || force_reliable; }
 };
 
@@ -83,6 +108,11 @@ struct ThreadEngineStats {
   std::uint64_t msg_batched = 0;         // messages sent inside a batch
   std::uint64_t batch_flushes = 0;       // batches flushed
   std::uint64_t backpressure_stalls = 0; // spawns that hit the soft limit
+  std::uint64_t boundary_dedup = 0;      // remote marks suppressed at source
+  std::uint64_t steal_batches = 0;       // idle-PE steal passes that took work
+  std::uint64_t steal_tasks = 0;         // tasks executed by a non-owner PE
+  std::uint64_t edge_cut = 0;            // cross-PE arg edges at start()
+  std::uint64_t edges_total = 0;         // all arg edges at start()
 };
 
 // Safe-point auditing (§5.4.1 invariants + Property 1 accounting on the live
@@ -158,6 +188,11 @@ class ThreadEngine final : public TaskSink, public EngineHooks {
 
   // ---- TaskSink (thread-safe) ----
   void spawn(Task t) override;
+  // Boundary-summary admission (see NetOptions::boundary_summary). Only
+  // remote children spawned from a PE thread consult the table; external
+  // callers and local children are always admitted.
+  bool admit_mark(Plane plane, VertexId child, std::uint8_t prior,
+                  std::uint64_t epoch) override;
 
   // ---- EngineHooks ----
   void collect_task_refs(std::vector<TaskRef>& out) override;
@@ -207,8 +242,16 @@ class ThreadEngine final : public TaskSink, public EngineHooks {
   // out_ is touched exclusively by its owning thread.
   void flush_outgoing(PeId pe, bool force);
   void flush_pair_fast(PeId src, PeId dst);
-  // Bounded yield loop when dst's backlog exceeds the soft limit.
+  // Edge-triggered congestion episode handling (see NetOptions). Only PE
+  // thread `src` calls this for its own row, so the arming bytes need no
+  // synchronization.
   void maybe_backpressure(PeId src, PeId dst);
+  // Idle-path mailbox stealing: drain up to half of the deepest peer
+  // backlog into `buf` and execute it here. Returns true if work was taken.
+  bool try_steal(PeId pe, std::vector<Mailbox::Bytes>& buf);
+  // Walk the graph once and charge edge_cut / edges_total per owning PE
+  // (called from start(), before any thread runs).
+  void count_edge_cut();
   // Engine clock: µs since construction (also the trace timestamp base).
   std::uint64_t now_us() const {
     return static_cast<std::uint64_t>(
@@ -242,6 +285,19 @@ class ThreadEngine final : public TaskSink, public EngineHooks {
     std::uint64_t deadline_us = 0;  // set when the first message is staged
   };
   std::vector<std::vector<OutBatch>> out_;
+  // Backpressure arming, indexed [src][dst]. Row src is written only by PE
+  // thread src (external spawns have src == dst and skip the check).
+  std::vector<std::vector<std::uint8_t>> bp_armed_;
+  // Boundary summaries, one shard per (destination PE, plane): the epoch
+  // and strongest priority already forwarded for each remote vertex index.
+  // Flat arrays grown on demand under the shard spinlock; stale epochs are
+  // invalidated lazily by comparison, so waves never clear the table.
+  struct alignas(64) BoundaryShard {
+    std::atomic_flag mu = ATOMIC_FLAG_INIT;
+    std::vector<std::uint64_t> epoch;
+    std::vector<std::uint8_t> prior;
+  };
+  std::vector<std::unique_ptr<BoundaryShard>> summary_;
   // Active message plane (null on the fault-free fast path). Frames flow
   // spawn → chan_ → fault_ → mail_; pe_loop feeds raw frames back through
   // chan_->on_frame and executes the exactly-once payload stream.

@@ -7,6 +7,8 @@
 // shutdown semantics keeps the engine simple and correct.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -27,6 +29,7 @@ class MpmcQueue {
       std::lock_guard<std::mutex> lk(mu_);
       q_.push_back(std::move(item));
       depth = q_.size();
+      size_.store(depth, std::memory_order_relaxed);
     }
     cv_.notify_one();
     return depth;
@@ -41,6 +44,7 @@ class MpmcQueue {
       std::lock_guard<std::mutex> lk(mu_);
       for (T& item : items) q_.push_back(std::move(item));
       depth = q_.size();
+      size_.store(depth, std::memory_order_relaxed);
     }
     cv_.notify_all();
     return depth;
@@ -52,6 +56,7 @@ class MpmcQueue {
     if (q_.empty()) return std::nullopt;
     T item = std::move(q_.front());
     q_.pop_front();
+    size_.store(q_.size(), std::memory_order_relaxed);
     return item;
   }
 
@@ -65,6 +70,27 @@ class MpmcQueue {
       q_.pop_front();
       ++n;
     }
+    size_.store(q_.size(), std::memory_order_relaxed);
+    return n;
+  }
+
+  // Timed blocking variant of pop_up_to: waits up to `timeout` for the queue
+  // to become non-empty (or closed), then drains like pop_up_to. Lets an
+  // idle consumer park on the condvar instead of spin-polling — on a
+  // single-core host a polling loop steals the timeslice from the very
+  // producer it is waiting on.
+  template <typename Rep, typename Period>
+  std::size_t pop_up_to_wait(std::size_t max_n, std::vector<T>& out,
+                             std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait_for(lk, timeout, [&] { return !q_.empty() || closed_; });
+    std::size_t n = 0;
+    while (n < max_n && !q_.empty()) {
+      out.push_back(std::move(q_.front()));
+      q_.pop_front();
+      ++n;
+    }
+    size_.store(q_.size(), std::memory_order_relaxed);
     return n;
   }
 
@@ -75,6 +101,7 @@ class MpmcQueue {
     if (q_.empty()) return std::nullopt;
     T item = std::move(q_.front());
     q_.pop_front();
+    size_.store(q_.size(), std::memory_order_relaxed);
     return item;
   }
 
@@ -91,10 +118,12 @@ class MpmcQueue {
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return q_.size();
-  }
+  // Lock-free depth gauge, maintained by every push/pop under the lock.
+  // Hot-path readers (backpressure probes, steal scans) poll peers' depths
+  // constantly; taking the queue mutex for each probe would contend with
+  // the owner's drain on the very queue being probed. Racy by design: a
+  // stale read only mis-times a heuristic, never breaks queue correctness.
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
 
   bool empty() const { return size() == 0; }
 
@@ -102,6 +131,7 @@ class MpmcQueue {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<T> q_;
+  std::atomic<std::size_t> size_{0};
   bool closed_ = false;
 };
 

@@ -311,6 +311,122 @@ TEST(ThreadEngineBatching, BatchedCycleBatchesAndStaysClean) {
             st.msg_batched);
 }
 
+// ---- Locality plane: boundary summaries + idle-PE work stealing. ----
+
+TEST(ThreadEngineLocality, BoundarySummaryOnOffAgreeCycleForCycle) {
+  // Dedup must be observationally invisible: audited runs (swept == GAR'
+  // cross-checked every cycle) with summaries on and off produce the same
+  // sweep census on identical graphs.
+  NetOptions off;
+  off.boundary_summary = false;
+  NetOptions on;  // default: summaries enabled
+  const std::vector<std::size_t> a = audited_run(off, 57);
+  const std::vector<std::size_t> b = audited_run(on, 57);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ThreadEngineLocality, BoundaryDedupCutsRemoteTrafficNotMarks) {
+  // Round-robin placement maximizes the edge cut, so every marking wave
+  // re-crosses PE boundaries constantly — the dedup table's worst case.
+  // With summaries on the remote message count must drop, the suppression
+  // counter must account for real work, and the final marks/priors must
+  // still match the sequential Oracle exactly.
+  auto run = [](bool summaries, std::uint64_t* dedup, std::uint64_t* remote) {
+    Graph g = make_presized(4, 1200);
+    RandomGraphOptions opt;
+    opt.num_vertices = 3000;
+    opt.seed = 42;
+    opt.num_tasks = 32;
+    opt.partition = PartitionStrategy::kRoundRobin;
+    const BuiltGraph b = build_random_graph(g, opt);
+    Oracle o(g, b.root, b.tasks);
+    NetOptions net;
+    net.boundary_summary = summaries;
+    ThreadEngine eng(g, net);
+    eng.set_root(b.root);
+    for (const TaskRef& t : b.tasks)
+      eng.inject(Task::request(t.s, t.d, ReqKind::kVital));
+    eng.start();
+    eng.controller().start_cycle();
+    eng.wait_cycle_done();
+    eng.stop();
+    *dedup = eng.stats().boundary_dedup;
+    *remote = eng.stats().remote_messages;
+    for (VertexId v : b.vertices) {
+      if (g.is_free(v)) continue;
+      EXPECT_EQ(eng.marker().is_marked(Plane::kR, v), o.in_R(v));
+      EXPECT_EQ(eng.marker().prior(Plane::kR, v), o.prior_at(v));
+      EXPECT_EQ(eng.marker().is_marked(Plane::kT, v), o.in_T(v));
+    }
+  };
+  std::uint64_t dedup_on = 0, remote_on = 0, dedup_off = 0, remote_off = 0;
+  run(true, &dedup_on, &remote_on);
+  run(false, &dedup_off, &remote_off);
+  EXPECT_EQ(dedup_off, 0u);
+  EXPECT_GT(dedup_on, 0u);
+  EXPECT_LT(remote_on, remote_off);
+}
+
+TEST(ThreadEngineLocality, StealingMovesTasksAndAgreesWithOracle) {
+  // Block placement concentrates the wave on one PE at a time, leaving the
+  // others idle — the imbalance stealing exists to fix. An aggressive
+  // threshold makes steals near-certain; correctness must be untouched.
+  Graph g = make_presized(4, 1200);
+  RandomGraphOptions opt;
+  opt.num_vertices = 4000;
+  opt.seed = 13;
+  opt.num_tasks = 24;
+  opt.partition = PartitionStrategy::kBlock;
+  const BuiltGraph b = build_random_graph(g, opt);
+  Oracle o(g, b.root, b.tasks);
+  NetOptions net;
+  net.steal_min = 1;
+  net.batch_bytes = 0;  // per-task frames: mailbox depth == task backlog
+  ThreadEngine eng(g, net);
+  eng.set_root(b.root);
+  for (const TaskRef& t : b.tasks)
+    eng.inject(Task::request(t.s, t.d, ReqKind::kVital));
+  eng.start();
+  for (int i = 0; i < 3; ++i) {
+    eng.controller().start_cycle();
+    eng.wait_cycle_done();
+  }
+  eng.stop();
+  EXPECT_GT(eng.stats().steal_batches, 0u);
+  EXPECT_GT(eng.stats().steal_tasks, 0u);
+  EXPECT_GE(eng.stats().steal_tasks, eng.stats().steal_batches);
+  g.for_each_live([&](VertexId v) {
+    EXPECT_EQ(eng.marker().is_marked(Plane::kR, v), o.in_R(v));
+    EXPECT_EQ(eng.marker().prior(Plane::kR, v), o.prior_at(v));
+  });
+}
+
+TEST(ThreadEngineLocality, StealOffRunsCleanWithZeroStealCounters) {
+  Graph g = make_presized(4, 1200);
+  RandomGraphOptions opt;
+  opt.num_vertices = 3000;
+  opt.seed = 13;
+  opt.num_tasks = 24;
+  opt.partition = PartitionStrategy::kBlock;
+  const BuiltGraph b = build_random_graph(g, opt);
+  Oracle o(g, b.root, b.tasks);
+  NetOptions net;
+  net.steal = false;
+  ThreadEngine eng(g, net);
+  eng.set_root(b.root);
+  for (const TaskRef& t : b.tasks)
+    eng.inject(Task::request(t.s, t.d, ReqKind::kVital));
+  eng.start();
+  eng.controller().start_cycle();
+  eng.wait_cycle_done();
+  eng.stop();
+  EXPECT_EQ(eng.stats().steal_batches, 0u);
+  EXPECT_EQ(eng.stats().steal_tasks, 0u);
+  g.for_each_live([&](VertexId v) {
+    EXPECT_EQ(eng.marker().is_marked(Plane::kR, v), o.in_R(v));
+  });
+}
+
 // ---- Online health auditing (safe-point audits + watchdog). ----
 
 TEST(ThreadEngine, SafePointAuditCleanOnStaticGraph) {
