@@ -48,6 +48,16 @@
 //                    instantiation — the streaming greedy partitioner)
 //   --steal          threaded audit phase: idle PEs steal half of the
 //   --no-steal       deepest peer mailbox instead of parking (default on)
+//   --workers N      run the audit phase on N real worker processes instead
+//                    of in-process threads: the controller stays here, forks
+//                    N dgr_worker processes, hands each its graph partition
+//                    over the socket transport, and merges their mark
+//                    reports (implies --audit 1; see docs/CLUSTER.md).
+//                    --fault-* flags compose: the fault plane then runs
+//                    over the socket on worker<->worker mark traffic
+//   --worker-bin P   path to the dgr_worker binary (default: $DGR_WORKER_BIN,
+//                    then "dgr_worker" on $PATH)
+//   --transport T    worker transport: uds (default) or tcp (loopback)
 //
 // With --audit, any --trace/--trace-jsonl/--metrics also writes the audit
 // phase's own exports next to the sim phase's, as "<path>.audit.json[l]"
@@ -62,6 +72,7 @@
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "reduction/machine.h"
+#include "runtime/proc_engine.h"
 #include "runtime/sim_engine.h"
 #include "runtime/thread_engine.h"
 
@@ -106,6 +117,9 @@ int main(int argc, char** argv) {
   std::uint32_t audit_cycles = 50;
   std::uint64_t wedge_steps = 200000;
   std::uint32_t latency = 0;
+  std::uint32_t workers = 0;
+  const char* worker_bin = nullptr;
+  bool worker_tcp = false;
   Placement placement = Placement::kScatter;
   NetOptions net;
   const char* trace_path = nullptr;
@@ -171,6 +185,21 @@ int main(int argc, char** argv) {
       net.steal = true;
     } else if (!std::strcmp(argv[i], "--no-steal")) {
       net.steal = false;
+    } else if (!std::strcmp(argv[i], "--workers") && i + 1 < argc) {
+      workers = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--worker-bin") && i + 1 < argc) {
+      worker_bin = argv[++i];
+    } else if (!std::strcmp(argv[i], "--transport") && i + 1 < argc) {
+      ++i;
+      if (!std::strcmp(argv[i], "tcp")) {
+        worker_tcp = true;
+      } else if (!std::strcmp(argv[i], "uds")) {
+        worker_tcp = false;
+      } else {
+        std::fprintf(stderr, "dgr_run: --transport expects uds|tcp (got '%s')\n",
+                     argv[i]);
+        return 2;
+      }
     } else if (argv[i][0] != '-' || !std::strcmp(argv[i], "-")) {
       path = argv[i];
     } else {
@@ -178,9 +207,9 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (net.enabled()) {
-    // Faults exercise the threaded audit phase; make sure it runs, auditing
-    // every cycle unless the user chose a coarser period.
+  if (net.enabled() || workers > 0) {
+    // Faults and multi-process runs exercise the audit phase; make sure it
+    // runs, auditing every cycle unless the user chose a coarser period.
     gc = true;
     if (audit_period == 0) audit_period = 1;
   }
@@ -193,6 +222,7 @@ int main(int argc, char** argv) {
                  "[--fault-drop P] [--fault-dup P] [--fault-reorder P] "
                  "[--fault-trunc P] [--batch-bytes N] [--batch-us U] "
                  "[--no-batch] [--partition P] [--steal|--no-steal] "
+                 "[--workers N] [--worker-bin PATH] [--transport uds|tcp] "
                  "<file|->\n");
     return 2;
   }
@@ -296,7 +326,85 @@ int main(int argc, char** argv) {
   if (metrics_path)
     write_file(metrics_path, engine.metrics_registry().to_json() + "\n");
 
-  if (audit_period) {
+  if (audit_period && workers > 0) {
+    // Multi-process audit phase: same safe-point audits over the evaluated
+    // graph, but the marking waves run on forked dgr_worker processes. The
+    // controller stays here, hands each worker its graph partition over the
+    // socket transport, and merges their mark reports at every quiesce
+    // barrier (docs/CLUSTER.md). Any --fault-* flags apply to the workers'
+    // own message planes, so the fault plane rides over the socket.
+    ProcOptions popt;
+    popt.workers = workers;
+    popt.tcp = worker_tcp;
+    if (worker_bin) popt.worker_bin = worker_bin;
+    popt.faults = net.faults.spec;
+    popt.fault_seed = net.faults.seed;
+    ProcEngine peng(graph, popt);
+    peng.set_root(root);
+    // Epoch hand-off, as in the threaded phase: the sim marker left
+    // per-vertex tags that a marker restarting at epoch 1 would alias.
+    peng.marker().seed_epoch(Plane::kR, engine.marker().epoch(Plane::kR));
+    peng.marker().seed_epoch(Plane::kT, engine.marker().epoch(Plane::kT));
+    AuditOptions aopt;
+    aopt.period = audit_period;
+    peng.enable_audit(aopt);
+#if DGR_TRACE_ENABLED
+    if (trace_path || jsonl_path) peng.enable_trace();
+#endif
+    peng.start();
+    for (std::uint32_t i = 0; i < audit_cycles && !peng.failed(); ++i) {
+      peng.controller().start_cycle(CycleOptions{detect});
+      peng.wait_cycle_done();
+    }
+    const bool worker_died = peng.failed();
+    peng.stop();
+    // Controller-side trace of the multi-process phase, written with the
+    // same ".audit" suffixes the threaded phase uses so dgr_analyze's
+    // rollup tooling works unchanged.
+#if DGR_TRACE_ENABLED
+    if (trace_path || jsonl_path) {
+      const std::vector<obs::TraceEvent> ev = peng.trace()->snapshot();
+      if (trace_path)
+        write_file(std::string(trace_path) + ".audit.json",
+                   obs::to_chrome_trace(ev, graph.num_pes()));
+      if (jsonl_path)
+        write_file(std::string(jsonl_path) + ".audit.jsonl",
+                   obs::to_jsonl(ev));
+    }
+#endif
+    const AuditStats& as = peng.audit_stats();
+    const ProcEngineStats ps = peng.stats();
+    std::printf("# proc audit: %llu safe-point audits, %llu violations; "
+                "workers: %u\n",
+                (unsigned long long)as.audits,
+                (unsigned long long)as.violations, peng.num_workers());
+    if (as.violations)
+      std::printf("# last audit violation: %s\n", as.last_what.c_str());
+    std::printf(
+        "# transport: frames=%llu sent / %llu received, bytes=%llu/%llu, "
+        "accepts=%llu reconnects=%llu partial_resumes=%llu\n",
+        (unsigned long long)ps.transport.frames_sent,
+        (unsigned long long)ps.transport.frames_received,
+        (unsigned long long)ps.transport.bytes_sent,
+        (unsigned long long)ps.transport.bytes_received,
+        (unsigned long long)ps.transport.accepts,
+        (unsigned long long)ps.transport.reconnects,
+        (unsigned long long)ps.transport.partial_read_resumes);
+    std::printf(
+        "# protocol: planes=%llu handoffs=%llu (%llu bytes) seeds=%llu "
+        "rescue_begins=%llu reports_merged=%llu\n",
+        (unsigned long long)ps.planes_started,
+        (unsigned long long)ps.handoffs_sent,
+        (unsigned long long)ps.handoff_bytes,
+        (unsigned long long)ps.seeds_sent,
+        (unsigned long long)ps.rescue_begins,
+        (unsigned long long)ps.reports_merged);
+    if (worker_died) {
+      std::printf("# proc audit: a worker process died mid-run\n");
+      rc = rc ? rc : 5;
+    }
+    if (health_fatal && as.violations) rc = rc ? rc : 4;
+  } else if (audit_period) {
     // Post-evaluation auditing phase: hand the evaluated graph to the
     // threaded engine and run continuous marking cycles over it with
     // safe-point audits every `audit_period` cycles and the stall watchdog

@@ -90,6 +90,7 @@ void Controller::start_mt() {
   phase_ = Phase::kMarkT;
   cur_.ran_mt = true;
   const VertexId troot = build_task_roots();
+  hooks_.on_plane_begin(Plane::kT);
   marker_.begin(Plane::kT, troot, 0);
   DGR_TRACE_EVENT(trace_, obs::EventType::kPhaseBegin, Plane::kT, 0,
                   cur_.cycle, marker_.epoch(Plane::kT));
@@ -97,7 +98,9 @@ void Controller::start_mt() {
 
 void Controller::start_mr() {
   phase_ = Phase::kMarkR;
-  marker_.begin(Plane::kR, marking_root(), 3);
+  const VertexId mroot = marking_root();
+  hooks_.on_plane_begin(Plane::kR);
+  marker_.begin(Plane::kR, mroot, 3);
   DGR_TRACE_EVENT(trace_, obs::EventType::kPhaseBegin, Plane::kR, 0,
                   cur_.cycle, marker_.epoch(Plane::kR));
 }

@@ -69,6 +69,12 @@ class EngineHooks {
   virtual void quiesce_begin() {}
   virtual void quiesce_end() {}
   virtual void on_cycle_complete(const CycleResult&) {}
+
+  // A marking plane is about to begin: the graph is final for this wave
+  // (task roots built, uroot refreshed) but the plane epoch has not yet been
+  // bumped and no seed has been spawned. A distributed engine ships its
+  // partition handoff from here.
+  virtual void on_plane_begin(Plane) {}
 };
 
 class Controller {

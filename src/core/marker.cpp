@@ -222,6 +222,7 @@ bool Marker::launch_rescue_wave(Plane plane) {
   ++ps.rescue_waves;
   DGR_TRACE_EVENT(trace_, obs::EventType::kRescueWave, plane, 0, 0,
                   pending.size());
+  if (rescue_seed_hook_) rescue_seed_hook_(plane, ps.rescue_root, pending.size());
   for (const auto& [v, prior] : pending)
     sink_.spawn(Task::mark(plane, v, ps.rescue_root,
                            plane == Plane::kR ? prior : std::uint8_t{0}));

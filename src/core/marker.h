@@ -90,6 +90,62 @@ class Marker {
   // Invoked by the engine when the phase's done flag is raised.
   void set_done_callback(std::function<void(Plane)> cb) { done_cb_ = std::move(cb); }
 
+  // ---- Distributed (multi-process) marking support. ----
+  //
+  // In a ProcEngine deployment the controller's Marker runs begin()/end() as
+  // usual, but the mark tasks execute on worker processes, each holding its
+  // own Marker over a partition replica. These entry points keep a replica's
+  // plane state in step with the controller without spawning seeds, and let
+  // the controller adopt a termination observed remotely (the rootpar return
+  // fires on whichever worker owns the collapsing root, not here).
+
+  // Worker side: open `plane` at the controller's absolute epoch (from a
+  // kPlaneBegin frame). Unlike begin(), no seed task is spawned, and a
+  // previous wave left open is simply superseded — workers never run end().
+  void begin_remote(Plane plane, std::uint64_t e) {
+    PlaneState& ps = st(plane);
+    ps.epoch = e;
+    ps.active = true;
+    ps.done = false;
+    ps.tainted = false;
+    ps.stats.reset();
+    ps.rescue_q.clear();
+  }
+
+  // Worker side: a controller rescue wave reopens the plane; its seeds then
+  // arrive as ordinary mark tasks within the same epoch.
+  void reopen_remote(Plane plane) { st(plane).done = false; }
+
+  // Controller side: a worker observed the termination return to rootpar and
+  // reported it (kPlaneDone); raise done here and run the usual callback.
+  void finish_remote(Plane plane) {
+    PlaneState& ps = st(plane);
+    DGR_CHECK_MSG(ps.active, "finish_remote on an inactive plane");
+    DGR_CHECK_MSG(!ps.done, "duplicate remote termination");
+    ps.done = true;
+    if (done_cb_) done_cb_(plane);
+  }
+
+  // Controller side: fold a worker's wave counters into this plane's stats
+  // (the controller executed no mark tasks itself).
+  void add_remote_stats(Plane plane, const MarkStats& s) {
+    MarkStats& d = st(plane).stats;
+    d.marks += s.marks.load(std::memory_order_relaxed);
+    d.returns += s.returns.load(std::memory_order_relaxed);
+    d.remarks += s.remarks.load(std::memory_order_relaxed);
+    d.coop_spawns += s.coop_spawns.load(std::memory_order_relaxed);
+  }
+
+  // Invoked by launch_rescue_wave after the rescue root is prepared and
+  // before any seed is spawned: a distributed controller broadcasts the
+  // reopened plane (and the rescue root's record) to workers here, so the
+  // seeds that follow land on replicas that already expect them.
+  using RescueSeedHook =
+      std::function<void(Plane, VertexId rescue_root, std::size_t seeds)>;
+  void set_rescue_seed_hook(RescueSeedHook fn) {
+    rescue_seed_hook_ = std::move(fn);
+  }
+
   // Called after the restructuring phase consumed the marks.
   void end(Plane plane) { st(plane).active = false; }
 
@@ -211,6 +267,7 @@ class Marker {
   TaskSink& sink_;
   PlaneState state_[2];
   std::function<void(Plane)> done_cb_;
+  RescueSeedHook rescue_seed_hook_;
   obs::TraceBuffer* trace_ = nullptr;
 };
 

@@ -75,6 +75,22 @@ class Store {
   std::uint64_t allocs() const { return allocs_; }
   std::uint64_t releases() const { return releases_; }
 
+  // Worker-side partition restore (net/proto.h): wipe the arena to `n` blank
+  // slots, then overwrite individual vertices through at(). The free list is
+  // dropped — a worker replica only marks, it never allocates or sweeps.
+  void reset_for_restore(std::uint32_t n) {
+    slots_.assign(n, Vertex{});
+    free_.clear();
+    taskroot_idx_ = UINT32_MAX;
+  }
+
+  // Grow the arena so `idx` is addressable — restores controller-created aux
+  // vertices (e.g. a rescue root) minted after the handoff snapshot.
+  Vertex& ensure_slot(std::uint32_t idx) {
+    if (idx >= slots_.size()) slots_.resize(idx + 1);
+    return slots_[idx];
+  }
+
  private:
   std::uint32_t fresh_slot();
 

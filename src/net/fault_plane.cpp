@@ -83,7 +83,7 @@ void FaultPlane::send(PeId src, PeId dst, Bytes msg) {
     p.held.swap(kept);
     p.stats.delivered += out.size();
   }
-  for (Bytes& b : out) deliver_(dst, std::move(b));
+  for (Bytes& b : out) deliver_(src, dst, std::move(b));
 }
 
 void FaultPlane::flush() {
@@ -96,7 +96,7 @@ void FaultPlane::flush() {
         held.swap(p.held);
         p.stats.delivered += held.size();
       }
-      for (Held& h : held) deliver_(dst, std::move(h.msg));
+      for (Held& h : held) deliver_(src, dst, std::move(h.msg));
     }
   }
 }

@@ -1,0 +1,366 @@
+#include "net/proto.h"
+
+#include <cstring>
+
+namespace dgr {
+namespace {
+
+// Doubles cross the wire as IEEE-754 bit patterns (both ends are the same
+// toolchain; the loopback cluster makes no heterogeneity promises).
+std::uint64_t d2u(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+double u2d(std::uint64_t u) {
+  double d;
+  std::memcpy(&d, &u, sizeof d);
+  return d;
+}
+
+void encode_mark_plane(ByteWriter& w, const MarkPlane& m) {
+  w.u64(m.epoch);
+  w.u8(static_cast<std::uint8_t>(m.color));
+  w.u32(m.mt_cnt);
+  w.vid(m.mt_par);
+  w.u8(m.prior);
+}
+
+bool decode_mark_plane(ByteReader& r, MarkPlane& m) {
+  m.epoch = r.u64();
+  const std::uint8_t c = r.u8();
+  if (c > static_cast<std::uint8_t>(Color::kMarked)) return false;
+  m.color = static_cast<Color>(c);
+  m.mt_cnt = r.u32();
+  m.mt_par = r.vid();
+  m.prior = r.u8();
+  return r.ok();
+}
+
+// Sanity ceiling on wire-declared list lengths, so a corrupted count can't
+// drive a multi-gigabyte allocation before the reader notices it ran dry.
+constexpr std::uint32_t kMaxWireList = 1u << 24;
+
+}  // namespace
+
+Bytes encode_worker_config(const WorkerConfig& c) {
+  ByteWriter w;
+  w.u32(c.num_pes);
+  w.u32(c.pe_begin);
+  w.u32(c.pe_count);
+  w.u8(c.use_channel ? 1 : 0);
+  w.u64(c.fault_seed);
+  w.u64(d2u(c.faults.drop));
+  w.u64(d2u(c.faults.duplicate));
+  w.u64(d2u(c.faults.reorder));
+  w.u64(d2u(c.faults.truncate));
+  w.u32(c.faults.reorder_span);
+  w.u64(c.reliable.rto_initial_us);
+  w.u64(c.reliable.rto_max_us);
+  w.u32(c.reliable.max_retransmit_batch);
+  w.u32(c.reliable.batch_bytes);
+  w.u64(c.reliable.batch_flush_us);
+  return w.take();
+}
+
+bool decode_worker_config(const Bytes& b, WorkerConfig& out) {
+  ByteReader r(b);
+  out.num_pes = r.u32();
+  out.pe_begin = r.u32();
+  out.pe_count = r.u32();
+  out.use_channel = r.u8() != 0;
+  out.fault_seed = r.u64();
+  out.faults.drop = u2d(r.u64());
+  out.faults.duplicate = u2d(r.u64());
+  out.faults.reorder = u2d(r.u64());
+  out.faults.truncate = u2d(r.u64());
+  out.faults.reorder_span = r.u32();
+  out.reliable.rto_initial_us = r.u64();
+  out.reliable.rto_max_us = r.u64();
+  out.reliable.max_retransmit_batch = r.u32();
+  out.reliable.batch_bytes = r.u32();
+  out.reliable.batch_flush_us = r.u64();
+  return r.done();
+}
+
+Bytes encode_register(const RegisterMsg& m) {
+  ByteWriter w;
+  w.u32(m.proto_version);
+  w.u32(m.flags);
+  w.u32(m.worker_index);
+  return w.take();
+}
+
+bool decode_register(const Bytes& b, RegisterMsg& out) {
+  ByteReader r(b);
+  out.proto_version = r.u32();
+  out.flags = r.u32();
+  out.worker_index = r.u32();
+  return r.done();
+}
+
+Bytes encode_register_ack(const RegisterAckMsg& m) {
+  ByteWriter w;
+  w.u32(m.worker_index);
+  w.u32(m.num_workers);
+  const Bytes cfg = encode_worker_config(m.config);
+  w.u32(static_cast<std::uint32_t>(cfg.size()));
+  for (std::uint8_t byte : cfg) w.u8(byte);
+  return w.take();
+}
+
+bool decode_register_ack(const Bytes& b, RegisterAckMsg& out) {
+  ByteReader r(b);
+  out.worker_index = r.u32();
+  out.num_workers = r.u32();
+  const std::uint32_t len = r.u32();
+  if (!r.ok() || len != r.remaining()) return false;
+  Bytes cfg(b.end() - len, b.end());
+  return decode_worker_config(cfg, out.config);
+}
+
+Bytes encode_reject(const RejectMsg& m) {
+  ByteWriter w;
+  w.u32(m.code);
+  w.u32(static_cast<std::uint32_t>(m.reason.size()));
+  for (char c : m.reason) w.u8(static_cast<std::uint8_t>(c));
+  return w.take();
+}
+
+bool decode_reject(const Bytes& b, RejectMsg& out) {
+  ByteReader r(b);
+  out.code = r.u32();
+  const std::uint32_t len = r.u32();
+  if (!r.ok() || len != r.remaining()) return false;
+  out.reason.assign(b.end() - len, b.end());
+  return true;
+}
+
+Bytes encode_plane_signal(Plane plane, std::uint64_t epoch) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(plane));
+  w.u64(epoch);
+  return w.take();
+}
+
+bool decode_plane_signal(const Bytes& b, Plane& plane, std::uint64_t& epoch) {
+  ByteReader r(b);
+  const std::uint8_t p = r.u8();
+  if (p > 1) return false;
+  plane = static_cast<Plane>(p);
+  epoch = r.u64();
+  return r.done();
+}
+
+void encode_vertex_record(ByteWriter& w, std::uint32_t idx, const Vertex& v) {
+  w.u32(idx);
+  w.u8(static_cast<std::uint8_t>((v.live ? 1 : 0) | (v.aux ? 2 : 0)));
+  w.u8(static_cast<std::uint8_t>(v.op));
+  w.u32(static_cast<std::uint32_t>(v.args.size()));
+  for (const ArgEdge& e : v.args) {
+    w.vid(e.to);
+    w.u8(static_cast<std::uint8_t>(e.req));
+    w.u64(e.req_epoch);
+  }
+  w.u32(static_cast<std::uint32_t>(v.requested.size()));
+  for (VertexId r : v.requested) w.vid(r);
+  w.u32(static_cast<std::uint32_t>(v.stale_requested.size()));
+  for (VertexId r : v.stale_requested) w.vid(r);
+  encode_mark_plane(w, v.mark[0]);
+  encode_mark_plane(w, v.mark[1]);
+}
+
+bool decode_vertex_record(ByteReader& r, std::uint32_t& idx, Vertex& v) {
+  idx = r.u32();
+  const std::uint8_t flags = r.u8();
+  v.live = (flags & 1) != 0;
+  v.aux = (flags & 2) != 0;
+  v.op = static_cast<OpCode>(r.u8());
+  const std::uint32_t nargs = r.u32();
+  if (!r.ok() || nargs > kMaxWireList) return false;
+  v.args.clear();
+  v.args.reserve(nargs);
+  for (std::uint32_t i = 0; i < nargs; ++i) {
+    ArgEdge e;
+    e.to = r.vid();
+    const std::uint8_t k = r.u8();
+    if (k > static_cast<std::uint8_t>(ReqKind::kVital)) return false;
+    e.req = static_cast<ReqKind>(k);
+    e.req_epoch = r.u64();
+    v.args.push_back(e);
+  }
+  const std::uint32_t nreq = r.u32();
+  if (!r.ok() || nreq > kMaxWireList) return false;
+  v.requested.clear();
+  v.requested.reserve(nreq);
+  for (std::uint32_t i = 0; i < nreq; ++i) v.requested.push_back(r.vid());
+  const std::uint32_t nstale = r.u32();
+  if (!r.ok() || nstale > kMaxWireList) return false;
+  v.stale_requested.clear();
+  v.stale_requested.reserve(nstale);
+  for (std::uint32_t i = 0; i < nstale; ++i)
+    v.stale_requested.push_back(r.vid());
+  if (!decode_mark_plane(r, v.mark[0])) return false;
+  if (!decode_mark_plane(r, v.mark[1])) return false;
+  return r.ok();
+}
+
+Bytes encode_handoff(const Graph& g, PeId pe_begin, std::uint32_t pe_count) {
+  ByteWriter w;
+  w.u32(g.num_pes());
+  for (PeId pe = 0; pe < g.num_pes(); ++pe) {
+    const Store& st = g.store(pe);
+    const bool full = pe >= pe_begin && pe < pe_begin + pe_count;
+    w.u32(pe);
+    w.u8(full ? 1 : 0);
+    const auto cap = static_cast<std::uint32_t>(st.capacity());
+    w.u32(cap);
+    if (full) {
+      // Count, then records for every occupied slot (aux included: taskroots
+      // and troot carry args the T wave traces).
+      std::uint32_t n = 0;
+      for (std::uint32_t i = 0; i < cap; ++i)
+        if (st.at(i).live) ++n;
+      w.u32(n);
+      for (std::uint32_t i = 0; i < cap; ++i)
+        if (st.at(i).live) encode_vertex_record(w, i, st.at(i));
+    } else {
+      // Liveness bitmap only: remote vertices are marked by their owner, but
+      // mark3 skips dead stale_requested entries by liveness lookup.
+      std::vector<std::uint8_t> bits((cap + 7) / 8, 0);
+      for (std::uint32_t i = 0; i < cap; ++i)
+        if (st.at(i).live) bits[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+      for (std::uint8_t byte : bits) w.u8(byte);
+    }
+  }
+  return w.take();
+}
+
+bool apply_handoff(const Bytes& b, Graph& g) {
+  ByteReader r(b);
+  const std::uint32_t num_pes = r.u32();
+  if (!r.ok() || num_pes != g.num_pes()) return false;
+  for (std::uint32_t k = 0; k < num_pes; ++k) {
+    const std::uint32_t pe = r.u32();
+    const std::uint8_t full = r.u8();
+    const std::uint32_t cap = r.u32();
+    if (!r.ok() || pe >= num_pes || cap > kMaxWireList) return false;
+    Store& st = g.store(pe);
+    st.reset_for_restore(cap);
+    if (full) {
+      const std::uint32_t n = r.u32();
+      if (!r.ok() || n > cap) return false;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint32_t idx = 0;
+        Vertex v;
+        if (!decode_vertex_record(r, idx, v) || idx >= cap) return false;
+        st.at(idx) = std::move(v);
+      }
+    } else {
+      for (std::uint32_t i = 0; i < (cap + 7) / 8; ++i) {
+        const std::uint8_t byte = r.u8();
+        for (std::uint32_t bit = 0; bit < 8 && i * 8 + bit < cap; ++bit)
+          st.at(i * 8 + bit).live = (byte >> bit) & 1;
+      }
+    }
+  }
+  return r.done();
+}
+
+Bytes encode_rescue_begin(Plane plane, std::uint64_t epoch, VertexId root,
+                          const Vertex& v) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(plane));
+  w.u64(epoch);
+  w.u32(root.pe);
+  encode_vertex_record(w, root.idx, v);
+  return w.take();
+}
+
+bool apply_rescue_begin(const Bytes& b, Graph& g, Plane& plane,
+                        std::uint64_t& epoch) {
+  ByteReader r(b);
+  const std::uint8_t p = r.u8();
+  if (p > 1) return false;
+  plane = static_cast<Plane>(p);
+  epoch = r.u64();
+  const std::uint32_t pe = r.u32();
+  std::uint32_t idx = 0;
+  Vertex v;
+  if (!r.ok() || pe >= g.num_pes()) return false;
+  if (!decode_vertex_record(r, idx, v) || !r.done()) return false;
+  g.store(pe).ensure_slot(idx) = std::move(v);
+  return true;
+}
+
+Bytes encode_mark_report(const Graph& g, Plane plane, std::uint64_t epoch,
+                         PeId pe_begin, std::uint32_t pe_count,
+                         const MarkStats& stats) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(plane));
+  w.u64(epoch);
+  w.u64(stats.marks.load(std::memory_order_relaxed));
+  w.u64(stats.returns.load(std::memory_order_relaxed));
+  w.u64(stats.remarks.load(std::memory_order_relaxed));
+  w.u64(stats.coop_spawns.load(std::memory_order_relaxed));
+  w.u32(pe_count);
+  const int pl = static_cast<int>(plane);
+  for (PeId pe = pe_begin; pe < pe_begin + pe_count; ++pe) {
+    const Store& st = g.store(pe);
+    const auto cap = static_cast<std::uint32_t>(st.capacity());
+    std::uint32_t n = 0;
+    for (std::uint32_t i = 0; i < cap; ++i)
+      if (st.at(i).live && st.at(i).mark[pl].epoch == epoch) ++n;
+    w.u32(pe);
+    w.u32(n);
+    for (std::uint32_t i = 0; i < cap; ++i) {
+      const Vertex& v = st.at(i);
+      if (!v.live || v.mark[pl].epoch != epoch) continue;
+      w.u32(i);
+      w.u8(static_cast<std::uint8_t>(v.mark[pl].color));
+      w.u8(v.mark[pl].prior);
+    }
+  }
+  return w.take();
+}
+
+bool apply_mark_report(const Bytes& b, Graph& g, Plane expect_plane,
+                       std::uint64_t expect_epoch, MarkStats& stats_out) {
+  ByteReader r(b);
+  const std::uint8_t p = r.u8();
+  const std::uint64_t epoch = r.u64();
+  if (!r.ok() || static_cast<Plane>(p) != expect_plane ||
+      epoch != expect_epoch)
+    return false;
+  stats_out.marks = r.u64();
+  stats_out.returns = r.u64();
+  stats_out.remarks = r.u64();
+  stats_out.coop_spawns = r.u64();
+  const std::uint32_t npes = r.u32();
+  if (!r.ok() || npes > g.num_pes()) return false;
+  const int pl = static_cast<int>(expect_plane);
+  for (std::uint32_t k = 0; k < npes; ++k) {
+    const std::uint32_t pe = r.u32();
+    const std::uint32_t n = r.u32();
+    if (!r.ok() || pe >= g.num_pes() || n > kMaxWireList) return false;
+    Store& st = g.store(pe);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t idx = r.u32();
+      const std::uint8_t color = r.u8();
+      const std::uint8_t prior = r.u8();
+      if (!r.ok() || idx >= st.capacity() ||
+          color > static_cast<std::uint8_t>(Color::kMarked))
+        return false;
+      MarkPlane& m = st.at(idx).mark[pl];
+      m.epoch = epoch;
+      m.color = static_cast<Color>(color);
+      m.prior = prior;
+      // Tree scaffolding collapsed by termination; merge it collapsed.
+      m.mt_cnt = 0;
+      m.mt_par = VertexId::invalid();
+    }
+  }
+  return r.done();
+}
+
+}  // namespace dgr

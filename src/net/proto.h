@@ -1,0 +1,112 @@
+// ProcEngine control-plane payloads: worker configuration, graph-partition
+// handoff, and mark-report merge (docs/CLUSTER.md has the frame walkthrough).
+//
+// All payloads ride inside net/frame.h frames and use the same ByteWriter /
+// ByteReader conventions as the task wire format. Decoders are recoverable
+// (sticky-failure readers, bool returns) — a malformed control payload drops
+// the connection rather than aborting the process.
+//
+// A handoff ships exactly what a marking replica reads: vertex liveness,
+// topology (args with request kind + request epoch, requested,
+// stale_requested), and both epoch-tagged mark planes. Values, evaluation
+// state, and free lists stay controller-side — workers only mark; they never
+// reduce, allocate, or sweep (the restructuring phase is centralized, per
+// the paper's "we concentrate solely upon the mark phase").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/marker.h"
+#include "graph/graph.h"
+#include "net/fault_plane.h"
+#include "net/reliable_channel.h"
+#include "net/wire.h"
+
+namespace dgr {
+
+inline constexpr std::uint32_t kProtoVersion = 1;
+// kRegister flag bits.
+inline constexpr std::uint32_t kRegisterFlagReconnect = 1u << 0;
+// "Assign me any free slot" worker index in a kRegister payload.
+inline constexpr std::uint32_t kAnyWorkerIndex = 0xffffffffu;
+
+using Bytes = std::vector<std::uint8_t>;
+
+// Everything a worker needs to mirror the controller's engine configuration,
+// delivered inside the kRegisterAck frame.
+struct WorkerConfig {
+  std::uint32_t num_pes = 0;
+  std::uint32_t pe_begin = 0;  // contiguous owned PE block [pe_begin,
+  std::uint32_t pe_count = 0;  //                            pe_begin+pe_count)
+  bool use_channel = false;    // wrap worker<->worker data in ChannelManager
+  std::uint64_t fault_seed = 1;
+  FaultSpec faults;            // injected above the channel, worker side
+  ReliableOptions reliable;
+};
+
+Bytes encode_worker_config(const WorkerConfig& c);
+bool decode_worker_config(const Bytes& b, WorkerConfig& out);
+
+// kRegister payload.
+struct RegisterMsg {
+  std::uint32_t proto_version = kProtoVersion;
+  std::uint32_t flags = 0;
+  std::uint32_t worker_index = kAnyWorkerIndex;
+};
+Bytes encode_register(const RegisterMsg& m);
+bool decode_register(const Bytes& b, RegisterMsg& out);
+
+// kRegisterAck payload: the slot the controller assigned plus the config.
+struct RegisterAckMsg {
+  std::uint32_t worker_index = 0;
+  std::uint32_t num_workers = 0;
+  WorkerConfig config;
+};
+Bytes encode_register_ack(const RegisterAckMsg& m);
+bool decode_register_ack(const Bytes& b, RegisterAckMsg& out);
+
+// kReject payload.
+struct RejectMsg {
+  std::uint32_t code = 0;
+  std::string reason;
+};
+Bytes encode_reject(const RejectMsg& m);
+bool decode_reject(const Bytes& b, RejectMsg& out);
+
+// kPlaneBegin / kQuiesce / kPlaneDone payload: which plane, which epoch.
+Bytes encode_plane_signal(Plane plane, std::uint64_t epoch);
+bool decode_plane_signal(const Bytes& b, Plane& plane, std::uint64_t& epoch);
+
+// One vertex's marking-relevant state (see header comment).
+void encode_vertex_record(ByteWriter& w, std::uint32_t idx, const Vertex& v);
+bool decode_vertex_record(ByteReader& r, std::uint32_t& idx, Vertex& v);
+
+// kHandoff: the partition snapshot tailored to one worker — full records for
+// the PEs in [pe_begin, pe_begin+pe_count), liveness bitmaps for the rest
+// (mark3 consults liveness of possibly-remote stale_requested entries).
+Bytes encode_handoff(const Graph& g, PeId pe_begin, std::uint32_t pe_count);
+// Worker side: wipe and rebuild the replica's stores from the snapshot.
+bool apply_handoff(const Bytes& b, Graph& g);
+
+// kRescueBegin: the plane reopens, and the controller-minted rescue root
+// (possibly a slot the handoff never shipped) is replicated to every worker.
+Bytes encode_rescue_begin(Plane plane, std::uint64_t epoch, VertexId root,
+                          const Vertex& v);
+bool apply_rescue_begin(const Bytes& b, Graph& g, Plane& plane,
+                        std::uint64_t& epoch);
+
+// kMarkReport: the wave's per-vertex results for one worker's owned PEs —
+// every slot (aux included) whose plane record is tagged with this epoch —
+// plus the worker's wave counters.
+Bytes encode_mark_report(const Graph& g, Plane plane, std::uint64_t epoch,
+                         PeId pe_begin, std::uint32_t pe_count,
+                         const MarkStats& stats);
+// Controller side: merge the marks into the authoritative graph (mt_cnt and
+// mt_par are tree-collapse scaffolding — gone by termination — so they merge
+// as 0 / invalid). Returns false on a malformed payload or epoch mismatch.
+bool apply_mark_report(const Bytes& b, Graph& g, Plane expect_plane,
+                       std::uint64_t expect_epoch, MarkStats& stats_out);
+
+}  // namespace dgr

@@ -1,0 +1,141 @@
+// Pluggable cross-PE delivery: the seam between the message plane and
+// whatever actually moves bytes.
+//
+// Everything above this interface — fault plane, reliable channel, batching,
+// the engines — speaks (src PE, dst PE, byte payload). Everything below it
+// is a Transport: the in-process implementation wraps the per-PE mailboxes
+// the threaded engine always used; the socket implementation
+// (net/socket_transport.h) moves the same payloads over Unix-domain or TCP
+// loopback connections. The contract is deliberately the Mailbox surface —
+// deliver one message or a batch toward a destination endpoint, drain a
+// destination's inbox in delivery order — so ThreadEngine runs unchanged on
+// either, and the chaos harness can diff them against the oracle.
+//
+// Ordering contract: messages from one sender to one destination arrive in
+// send order (both implementations are FIFO per directed pair). No stronger
+// guarantee is offered; exactly-once and loss recovery live one layer up in
+// net/reliable_channel.h, and fault injection above that.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/ids.h"
+#include "net/mailbox.h"
+
+namespace dgr {
+
+// Counters every transport exposes; socket transports fill the connection
+// fields, the in-process transport leaves them zero.
+struct TransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t connects = 0;              // outbound connections established
+  std::uint64_t accepts = 0;               // inbound connections accepted
+  std::uint64_t reconnects = 0;            // re-registrations after a drop
+  std::uint64_t partial_read_resumes = 0;  // frames completed across >1 read
+  std::uint64_t oversized_rejected = 0;    // frames over the size limit
+  std::uint64_t handshakes_rejected = 0;   // registrations refused
+};
+
+class Transport {
+ public:
+  using Bytes = std::vector<std::uint8_t>;
+
+  virtual ~Transport() = default;
+
+  // Number of addressable endpoints (PEs).
+  virtual std::uint32_t endpoints() const = 0;
+
+  // Deliver one message from src toward dst. May block on backpressure.
+  virtual void send(PeId src, PeId dst, Bytes msg) = 0;
+
+  // Deliver a batch toward dst under one synchronization point.
+  virtual void send_batch(PeId src, PeId dst, std::vector<Bytes> msgs) = 0;
+
+  // Pop up to max_n messages pending for `pe`, appending in delivery order.
+  virtual std::size_t drain(PeId pe, std::size_t max_n,
+                            std::vector<Bytes>& out) = 0;
+
+  // Like drain, but parks up to timeout_us when the inbox is empty.
+  virtual std::size_t drain_wait(PeId pe, std::size_t max_n,
+                                 std::vector<Bytes>& out,
+                                 std::uint64_t timeout_us) = 0;
+
+  // Messages currently queued for `pe`.
+  virtual std::size_t pending(PeId pe) const = 0;
+
+  // Deepest single-inbox backlog observed at delivery time.
+  virtual std::uint64_t high_water() const = 0;
+
+  // Wake every blocked drain_wait and stop accepting traffic.
+  virtual void close() = 0;
+
+  virtual TransportStats stats() const = 0;
+};
+
+// The transport the threaded engine always had: one Mailbox per PE, shared
+// address space, delivery is a queue push.
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(std::uint32_t num_pes) {
+    mail_.reserve(num_pes);
+    for (std::uint32_t i = 0; i < num_pes; ++i)
+      mail_.push_back(std::make_unique<Mailbox>());
+  }
+
+  std::uint32_t endpoints() const override {
+    return static_cast<std::uint32_t>(mail_.size());
+  }
+
+  void send(PeId, PeId dst, Bytes msg) override {
+    mail_[dst]->deliver(std::move(msg));
+  }
+
+  void send_batch(PeId, PeId dst, std::vector<Bytes> msgs) override {
+    mail_[dst]->deliver_batch(std::move(msgs));
+  }
+
+  std::size_t drain(PeId pe, std::size_t max_n,
+                    std::vector<Bytes>& out) override {
+    return mail_[pe]->drain(max_n, out);
+  }
+
+  std::size_t drain_wait(PeId pe, std::size_t max_n, std::vector<Bytes>& out,
+                         std::uint64_t timeout_us) override {
+    return mail_[pe]->drain_wait(max_n, out, timeout_us);
+  }
+
+  std::size_t pending(PeId pe) const override { return mail_[pe]->pending(); }
+
+  std::uint64_t high_water() const override {
+    std::uint64_t hw = 0;
+    for (const auto& m : mail_)
+      if (m->high_water() > hw) hw = m->high_water();
+    return hw;
+  }
+
+  void close() override {
+    for (auto& m : mail_) m->close();
+  }
+
+  TransportStats stats() const override {
+    TransportStats s;
+    for (const auto& m : mail_) {
+      s.frames_received += m->messages_received();
+      s.bytes_received += m->bytes_received();
+    }
+    // In-process delivery is symmetric: every received frame was sent.
+    s.frames_sent = s.frames_received;
+    s.bytes_sent = s.bytes_received;
+    return s;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mail_;
+};
+
+}  // namespace dgr

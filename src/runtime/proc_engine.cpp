@@ -1,0 +1,395 @@
+#include "runtime/proc_engine.h"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "core/invariants.h"
+#include "net/wire.h"
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace dgr {
+
+namespace {
+// Distinguishes concurrent ProcEngines in one test binary: each hub needs its
+// own Unix-domain socket path.
+std::atomic<std::uint32_t> g_hub_serial{0};
+}  // namespace
+
+ProcEngine::ProcEngine(Graph& g, ProcOptions opt)
+    : g_(g),
+      opt_(std::move(opt)),
+      num_workers_(std::min(opt_.workers == 0 ? 1u : opt_.workers,
+                            g.num_pes())),
+      t0_(std::chrono::steady_clock::now()) {
+  marker_ = std::make_unique<Marker>(g_, *this);
+  mutator_ = std::make_unique<Mutator>(g_, *marker_);
+  controller_ =
+      std::make_unique<Controller>(g_, *marker_, *this, VertexId::invalid());
+  // Restructuring runs inline on the hub reader thread that merged the final
+  // mark report — no vertex lock is held there (the controller executes no
+  // marking tasks itself), so deferral is unnecessary.
+
+  // Contiguous PE blocks, remainder spread over the first workers.
+  const std::uint32_t base = g_.num_pes() / num_workers_;
+  const std::uint32_t rem = g_.num_pes() % num_workers_;
+  slots_.resize(num_workers_);
+  PeId begin = 0;
+  for (std::uint32_t w = 0; w < num_workers_; ++w) {
+    slots_[w].pe_begin = begin;
+    slots_[w].pe_count = base + (w < rem ? 1 : 0);
+    begin += slots_[w].pe_count;
+  }
+
+  for (PeId pe = 0; pe < g_.num_pes(); ++pe)
+    pools_.push_back(std::make_unique<TaskPool>());
+
+  // Rescue waves reopen the plane before any seed is spawned; replicas must
+  // learn both (and the controller-minted rescue root's record, which the
+  // plane handoff may never have shipped) before the seeds arrive.
+  marker_->set_rescue_seed_hook(
+      [this](Plane p, VertexId root, std::size_t /*seeds*/) {
+        NetFrame f;
+        f.type = FrameType::kRescueBegin;
+        f.payload = encode_rescue_begin(p, marker_->epoch(p), root,
+                                        g_.at(root));
+        hub_.broadcast(f);
+        ++stats_.rescue_begins;
+      });
+}
+
+ProcEngine::~ProcEngine() { stop(); }
+
+WorkerConfig ProcEngine::make_config(std::uint32_t worker) const {
+  WorkerConfig c;
+  c.num_pes = g_.num_pes();
+  c.pe_begin = slots_[worker].pe_begin;
+  c.pe_count = slots_[worker].pe_count;
+  c.use_channel = opt_.use_channel();
+  c.fault_seed = opt_.fault_seed + worker;  // distinct chaos per worker
+  c.faults = opt_.faults;
+  c.reliable = opt_.reliable;
+  return c;
+}
+
+void ProcEngine::start() {
+  DGR_CHECK_MSG(!started_, "ProcEngine::start called twice");
+  started_ = true;
+  // No prewarm_aux_roots here: the controller mints every aux root it needs
+  // (taskroots, troot, uroot) before on_plane_begin fires, so the handoff
+  // always ships them — and eager allocation here would advance this graph's
+  // free lists relative to the sim/thread replicas the chaos harness diffs.
+
+  hub_.set_control_handler([this](std::uint32_t worker, NetFrame f) {
+    handle_control(worker, std::move(f));
+  });
+  hub_.set_worker_lost([this](std::uint32_t worker) {
+    if (stopping_.load(std::memory_order_acquire)) return;
+    DGR_ERROR("worker %u lost mid-run", worker);
+    failed_.store(true, std::memory_order_release);
+  });
+
+  SocketAddr addr;
+  if (opt_.tcp) {
+    DGR_CHECK(SocketAddr::parse("tcp:127.0.0.1:0", addr));
+  } else {
+    addr.path = "/tmp/dgr-hub-" + std::to_string(::getpid()) + "-" +
+                std::to_string(g_hub_serial.fetch_add(1)) + ".sock";
+  }
+  const bool up = hub_.listen(addr, [this](const RegisterMsg& reg) {
+    SocketHub::Decision d;
+    if (reg.proto_version != kProtoVersion) {
+      d.reject.code = 1;
+      d.reject.reason = "unsupported protocol version " +
+                        std::to_string(reg.proto_version);
+      return d;
+    }
+    if (reg.worker_index >= num_workers_) {
+      d.reject.code = 3;
+      d.reject.reason = "worker index out of range";
+      return d;
+    }
+    d.accept = true;
+    d.ack.worker_index = reg.worker_index;
+    d.ack.num_workers = num_workers_;
+    d.ack.config = make_config(reg.worker_index);
+    return d;
+  });
+  DGR_CHECK_MSG(up, "hub listen failed");
+
+  for (std::uint32_t w = 0; w < num_workers_; ++w) spawn_worker(w);
+  DGR_CHECK_MSG(hub_.wait_workers(num_workers_, opt_.register_timeout_ms),
+                "workers did not register in time");
+}
+
+void ProcEngine::spawn_worker(std::uint32_t worker) {
+  std::string bin = opt_.worker_bin;
+  if (bin.empty()) {
+    if (const char* env = std::getenv("DGR_WORKER_BIN")) bin = env;
+  }
+  if (bin.empty()) bin = "dgr_worker";
+
+  const std::string addr = hub_.address();
+  const std::string index = std::to_string(worker);
+  const pid_t pid = ::fork();
+  DGR_CHECK_MSG(pid >= 0, "fork failed");
+  if (pid == 0) {
+    const char* argv[] = {bin.c_str(),   "--connect", addr.c_str(),
+                          "--index",     index.c_str(), nullptr};
+    ::execvp(bin.c_str(), const_cast<char* const*>(argv));
+    ::_exit(127);  // exec failure; the registration timeout reports it
+  }
+  slots_[worker].pid = pid;
+}
+
+void ProcEngine::stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  NetFrame f;
+  f.type = FrameType::kShutdown;
+  hub_.broadcast(f);
+  // Workers exit on kShutdown; give them a grace window, then insist.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(3);
+  for (WorkerSlot& s : slots_) {
+    while (s.pid > 0) {
+      int status = 0;
+      const pid_t r = ::waitpid(static_cast<pid_t>(s.pid), &status, WNOHANG);
+      if (r == static_cast<pid_t>(s.pid) || r < 0) {
+        s.pid = -1;
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        ::kill(static_cast<pid_t>(s.pid), SIGKILL);
+        ::waitpid(static_cast<pid_t>(s.pid), &status, 0);
+        s.pid = -1;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  hub_.close();
+  started_ = false;
+}
+
+void ProcEngine::wait_quiescent() {
+  while (!controller_->idle() &&
+         !failed_.load(std::memory_order_acquire))
+    std::this_thread::yield();
+}
+
+void ProcEngine::wait_cycle_done() { wait_quiescent(); }
+
+void ProcEngine::inject(Task t) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  pools_[t.d.pe]->push(std::move(t));
+}
+
+void ProcEngine::on_plane_begin(Plane p) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  // The graph is final for this wave but the epoch has not been bumped yet —
+  // exactly the state the replicas must copy. kPlaneBegin (with the bumped
+  // epoch) follows at the first seed spawn; per-connection FIFO queues keep
+  // the order handoff → begin → seed on every worker's wire.
+  for (std::uint32_t w = 0; w < num_workers_; ++w) {
+    NetFrame f;
+    f.type = FrameType::kHandoff;
+    f.payload = encode_handoff(g_, slots_[w].pe_begin, slots_[w].pe_count);
+    stats_.handoff_bytes += f.payload.size();
+    ++stats_.handoffs_sent;
+    hub_.send_to_worker(w, f);
+  }
+  begin_pending_ = true;
+  begin_plane_ = p;
+}
+
+void ProcEngine::spawn(Task t) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  if (!task_is_marking(t.kind)) {
+    pools_[t.d.pe]->push(std::move(t));
+    return;
+  }
+  if (begin_pending_) {
+    begin_pending_ = false;
+    NetFrame bf;
+    bf.type = FrameType::kPlaneBegin;
+    bf.payload =
+        encode_plane_signal(begin_plane_, marker_->epoch(begin_plane_));
+    hub_.broadcast(bf);
+    ++stats_.planes_started;
+  }
+  NetFrame f;
+  f.type = FrameType::kSeed;
+  f.src = t.s.valid() && !t.s.is_rootpar() ? t.s.pe : t.d.pe;
+  f.dst = t.d.pe;
+  f.payload = encode_task(t);
+  hub_.send_to_endpoint_owner(f);
+  ++stats_.seeds_sent;
+}
+
+void ProcEngine::handle_control(std::uint32_t worker, NetFrame f) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  switch (f.type) {
+    case FrameType::kPlaneDone: {
+      Plane plane;
+      std::uint64_t epoch = 0;
+      if (!decode_plane_signal(f.payload, plane, epoch)) {
+        DGR_ERROR("worker %u: malformed kPlaneDone", worker);
+        failed_.store(true, std::memory_order_release);
+        return;
+      }
+      // Stale or duplicate termination reports are ignorable: each wave's
+      // rootpar return is observed by exactly one worker, but a retransmit
+      // path could replay the frame.
+      if (!marker_->active(plane) || epoch != marker_->epoch(plane) ||
+          collecting_)
+        return;
+      collecting_ = true;
+      collect_plane_ = plane;
+      collect_epoch_ = epoch;
+      reports_in_ = 0;
+      collect_stats_.reset();
+      NetFrame q;
+      q.type = FrameType::kQuiesce;
+      q.payload = encode_plane_signal(plane, epoch);
+      hub_.broadcast(q);
+      return;
+    }
+    case FrameType::kMarkReport: {
+      if (!collecting_) return;  // late duplicate
+      MarkStats s;
+      if (!apply_mark_report(f.payload, g_, collect_plane_, collect_epoch_,
+                             s)) {
+        DGR_ERROR("worker %u: mark report rejected", worker);
+        failed_.store(true, std::memory_order_release);
+        return;
+      }
+      collect_stats_.marks += s.marks.load(std::memory_order_relaxed);
+      collect_stats_.returns += s.returns.load(std::memory_order_relaxed);
+      collect_stats_.remarks += s.remarks.load(std::memory_order_relaxed);
+      collect_stats_.coop_spawns +=
+          s.coop_spawns.load(std::memory_order_relaxed);
+      ++stats_.reports_merged;
+      if (++reports_in_ < num_workers_) return;
+      // Every partition's marks are in the authoritative graph: adopt the
+      // remote termination. The controller cascade continues from here —
+      // rescue wave, the M_R plane, or the restructuring phase — still under
+      // mu_, so no mutation or report interleaves.
+      collecting_ = false;
+      marker_->add_remote_stats(collect_plane_, collect_stats_);
+      marker_->finish_remote(collect_plane_);
+      return;
+    }
+    default:
+      DGR_ERROR("worker %u: unexpected control frame %s", worker,
+                frame_type_name(f.type));
+      failed_.store(true, std::memory_order_release);
+  }
+}
+
+void ProcEngine::collect_task_refs(std::vector<TaskRef>& out) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  for (const auto& p : pools_)
+    p->for_each([&](const Task& t) { out.push_back(TaskRef{t.s, t.d}); });
+}
+
+std::size_t ProcEngine::expunge_tasks(
+    const std::function<bool(const Task&)>& kill) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  std::size_t n = 0;
+  for (const auto& p : pools_) n += p->expunge(kill);
+  return n;
+}
+
+std::size_t ProcEngine::reprioritize_tasks(
+    const std::function<std::uint8_t(const Task&)>& prio) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  std::size_t n = 0;
+  for (const auto& p : pools_) n += p->reprioritize(prio);
+  return n;
+}
+
+void ProcEngine::atomically(std::initializer_list<VertexId> /*vs*/,
+                            const std::function<void()>& fn) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  fn();
+}
+
+void ProcEngine::enable_audit(AuditOptions opt) {
+  audit_opt_ = opt;
+  audit_enabled_ = opt.period != 0;
+}
+
+void ProcEngine::quiesce_begin() { maybe_audit(); }
+
+void ProcEngine::maybe_audit() {
+  audit_swept_check_ = false;
+  if (!audit_enabled_) return;
+  const std::uint64_t cyc = controller_->cycles_completed() + 1;
+  if (cyc % audit_opt_.period != 0) return;
+  ++audit_stats_.audits;
+  auto fail = [&](const std::string& what) {
+    ++audit_stats_.violations;
+    audit_stats_.last_what = what;
+    DGR_ERROR("proc audit violation (cycle %llu): %s",
+              (unsigned long long)cyc, what.c_str());
+  };
+  if (audit_opt_.check_invariants) {
+    // Same safe point as the threaded engine, reached differently: every
+    // worker's kMarkReport for the wave has been merged, so the
+    // authoritative graph holds the complete terminated marking.
+    for (const Plane plane : {Plane::kR, Plane::kT}) {
+      if (!marker_->active(plane) || !marker_->done(plane)) continue;
+      if (marker_->cycle_tainted(plane)) continue;
+      const InvariantReport rep =
+          check_marking_invariants(g_, *marker_, plane, {});
+      if (!rep.ok) fail(rep.what);
+    }
+  }
+  if (audit_opt_.check_accounting) {
+    const AccountingReport acc = check_heap_accounting(g_, *marker_);
+    if (!acc.ok) {
+      fail(acc.what);
+    } else if (marker_->active(Plane::kR) && marker_->done(Plane::kR)) {
+      audit_expected_gar_ = acc.gar;
+      audit_swept_check_ = true;
+    }
+  }
+}
+
+void ProcEngine::on_cycle_complete(const CycleResult& res) {
+  if (!audit_swept_check_) return;
+  audit_swept_check_ = false;
+  if (res.swept != audit_expected_gar_) {
+    ++audit_stats_.violations;
+    audit_stats_.last_what =
+        "Property 1 violated: swept " + std::to_string(res.swept) +
+        " != GAR' " + std::to_string(audit_expected_gar_);
+    DGR_ERROR("proc audit violation (cycle %llu): %s",
+              (unsigned long long)res.cycle, audit_stats_.last_what.c_str());
+  }
+}
+
+obs::TraceBuffer* ProcEngine::enable_trace(std::size_t capacity) {
+  if (!trace_) {
+    trace_ = std::make_unique<obs::TraceBuffer>(capacity);
+    marker_->set_trace(trace_.get());
+    mutator_->set_trace(trace_.get());
+    controller_->set_trace(trace_.get());
+  }
+  return trace_.get();
+}
+
+ProcEngineStats ProcEngine::stats() const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  ProcEngineStats s = stats_;
+  s.transport = hub_.stats();
+  return s;
+}
+
+}  // namespace dgr

@@ -1,0 +1,195 @@
+// Multi-process engine: a controller plus real worker processes over sockets.
+//
+// ProcEngine realizes the paper's machine across OS process boundaries. The
+// controller owns the authoritative graph, the Controller/Marker pair that
+// sequences cycles, and the restructuring phase; marking execution is farmed
+// out to `workers` dgr_worker processes, each owning a contiguous block of
+// PEs. Per marking plane the controller ships each worker a partition
+// snapshot (kHandoff), opens the plane at an absolute epoch (kPlaneBegin),
+// and seeds the wave (kSeed). Workers exchange cross-partition marks as
+// kData frames relayed by the controller's SocketHub; the worker observing
+// the rootpar termination return reports kPlaneDone, the controller
+// broadcasts kQuiesce, merges every worker's kMarkReport into the
+// authoritative graph, and only then lets the cycle advance — so the
+// restructuring phase (sweep / expunge / reprioritize / deadlock report)
+// runs centrally on merged marks, per the paper's "we concentrate solely
+// upon the mark phase". docs/CLUSTER.md is the architecture guide.
+//
+// Mutation discipline: mutators run controller-side between marking cycles
+// (atomically() is a plain serialized section; there are no PE threads to
+// pause). Mid-wave cooperation (Fig 4-2's splice) is a shared-memory
+// technique and does not transfer to partition replicas; the rescue-wave
+// path (Marker::rescue + kRescueBegin) is the supported way marks chase
+// references acquired while a wave runs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/cooperation.h"
+#include "core/marker.h"
+#include "net/proto.h"
+#include "net/socket_hub.h"
+#include "runtime/pool.h"
+#include "runtime/thread_engine.h"  // AuditOptions / AuditStats
+
+namespace dgr {
+
+struct ProcOptions {
+  std::uint32_t workers = 2;  // clamped to num_pes
+  bool tcp = false;           // default: Unix-domain socket
+  // Path to the dgr_worker binary; empty falls back to $DGR_WORKER_BIN,
+  // then to "dgr_worker" on PATH.
+  std::string worker_bin;
+  int register_timeout_ms = 10000;
+  // Worker-side message plane (worker↔worker marks). Faults imply the
+  // reliable channel, mirroring NetOptions::enabled().
+  FaultSpec faults;
+  std::uint64_t fault_seed = 1;
+  bool force_reliable = false;
+  ReliableOptions reliable;
+  bool use_channel() const { return faults.any() || force_reliable; }
+};
+
+struct ProcEngineStats {
+  std::uint64_t planes_started = 0;   // kPlaneBegin broadcasts
+  std::uint64_t handoffs_sent = 0;    // kHandoff frames
+  std::uint64_t handoff_bytes = 0;    // their payload bytes
+  std::uint64_t seeds_sent = 0;       // kSeed frames
+  std::uint64_t rescue_begins = 0;    // kRescueBegin broadcasts
+  std::uint64_t reports_merged = 0;   // kMarkReports folded into the graph
+  TransportStats transport;           // hub-side socket counters
+};
+
+class ProcEngine final : public TaskSink, public EngineHooks {
+ public:
+  explicit ProcEngine(Graph& g, ProcOptions opt = {});
+  ~ProcEngine() override;
+
+  ProcEngine(const ProcEngine&) = delete;
+  ProcEngine& operator=(const ProcEngine&) = delete;
+
+  Graph& graph() { return g_; }
+  Marker& marker() { return *marker_; }
+  Mutator& mutator() { return *mutator_; }
+  Controller& controller() { return *controller_; }
+
+  void set_root(VertexId root) { controller_->set_root(root); }
+
+  // Bind the hub, fork+exec the workers, wait for registration. Aborts
+  // (DGR_CHECK) when a worker cannot be launched or registered in time.
+  void start();
+  // Broadcast kShutdown, reap the children (SIGKILL stragglers), close.
+  void stop();
+
+  // Block until the controller is idle (no cycle in progress).
+  void wait_quiescent();
+  void wait_cycle_done();
+
+  // A worker process died mid-run (the cycle cannot complete).
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  // Inject an inert reduction task into its destination pool.
+  void inject(Task t);
+
+  // ---- TaskSink (controller-side marker: wave seeds only) ----
+  void spawn(Task t) override;
+
+  // ---- EngineHooks ----
+  void collect_task_refs(std::vector<TaskRef>& out) override;
+  std::size_t expunge_tasks(
+      const std::function<bool(const Task&)>& kill) override;
+  std::size_t reprioritize_tasks(
+      const std::function<std::uint8_t(const Task&)>& prio) override;
+  void quiesce_begin() override;
+  void on_cycle_complete(const CycleResult& res) override;
+  void on_plane_begin(Plane p) override;
+
+  // Serialized mutation section (vertex list unused: no concurrent marking
+  // touches the controller graph — the mutex excludes report merges).
+  void atomically(std::initializer_list<VertexId> vs,
+                  const std::function<void()>& fn);
+
+  // Safe-point auditing inside the restructuring window (same checks as
+  // ThreadEngine: §5.4.1 invariants + Property 1 accounting + swept==GAR').
+  void enable_audit(AuditOptions opt = {});
+  const AuditStats& audit_stats() const { return audit_stats_; }
+
+  obs::TraceBuffer* enable_trace(std::size_t capacity = 1 << 14);
+  obs::TraceBuffer* trace() { return trace_.get(); }
+
+  ProcEngineStats stats() const;
+  std::uint32_t num_workers() const { return num_workers_; }
+  // The hub's listen address (workers' --connect argument).
+  std::string address() const { return hub_.address(); }
+
+ private:
+  struct WorkerSlot {
+    PeId pe_begin = 0;
+    std::uint32_t pe_count = 0;
+    long pid = -1;
+  };
+
+  WorkerConfig make_config(std::uint32_t worker) const;
+  void spawn_worker(std::uint32_t worker);
+  void handle_control(std::uint32_t worker, NetFrame f);
+  void maybe_audit();
+  std::uint64_t now_us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+  }
+
+  Graph& g_;
+  ProcOptions opt_;
+  std::uint32_t num_workers_;
+  std::vector<WorkerSlot> slots_;
+  std::unique_ptr<Marker> marker_;
+  std::unique_ptr<Mutator> mutator_;
+  std::unique_ptr<Controller> controller_;
+  SocketHub hub_;
+
+  // Serializes every control-plane transition: cycle starts (via the hook
+  // entry points), report merges, restructuring, mutations, pool access.
+  // Recursive because a merged report finishes the plane, which re-enters
+  // through on_plane_begin/spawn for the next one.
+  mutable std::recursive_mutex mu_;
+
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> failed_{false};
+
+  // Plane-begin staging: on_plane_begin ships handoffs pre-epoch-bump; the
+  // first seed spawn afterwards broadcasts kPlaneBegin with the bumped
+  // epoch, then every seed rides a kSeed frame.
+  bool begin_pending_ = false;
+  Plane begin_plane_ = Plane::kR;
+
+  // Quiesce merge state for the wave being collected.
+  bool collecting_ = false;
+  Plane collect_plane_ = Plane::kR;
+  std::uint64_t collect_epoch_ = 0;
+  std::uint32_t reports_in_ = 0;
+  MarkStats collect_stats_;
+
+  std::vector<std::unique_ptr<TaskPool>> pools_;
+
+  ProcEngineStats stats_;
+  AuditOptions audit_opt_;
+  bool audit_enabled_ = false;
+  AuditStats audit_stats_;
+  bool audit_swept_check_ = false;
+  std::size_t audit_expected_gar_ = 0;
+
+  std::unique_ptr<obs::TraceBuffer> trace_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace dgr

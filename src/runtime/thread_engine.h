@@ -30,8 +30,8 @@
 #include "core/cooperation.h"
 #include "core/marker.h"
 #include "net/fault_plane.h"
-#include "net/mailbox.h"
 #include "net/reliable_channel.h"
+#include "net/transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/pool.h"
@@ -55,10 +55,21 @@ class VertexLocks;
 // goes idle or parks; receivers drain up to drain_max messages per loop
 // pass under a single mailbox lock. batch_bytes == 0 restores the exact
 // one-message-one-delivery PR 4 plane (the --no-batch leg).
+
+// Which Transport carries cross-PE messages (net/transport.h). kInProc is
+// the historical shared-memory mailbox plane; kUds/kTcp route every cross-PE
+// message through real kernel sockets (net/socket_transport.h) — same
+// engine, same fault/channel layering, loopback-cluster wire path.
+enum class TransportKind : std::uint8_t { kInProc = 0, kUds, kTcp };
+
 struct NetOptions {
   FaultPlaneOptions faults;
   ReliableOptions reliable;
   bool force_reliable = false;  // channel layer even with a zero schedule
+  TransportKind transport = TransportKind::kInProc;
+  // Hub address for socket transports ("uds:PATH" / "tcp:HOST:PORT");
+  // empty picks a fresh /tmp socket (uds) or an ephemeral port (tcp).
+  std::string transport_addr;
   std::uint32_t batch_bytes = 4096;    // size cap per staged pair (0 = off)
   std::uint32_t batch_flush_us = 100;  // age cap on a staged batch
   std::uint32_t drain_max = 64;        // receiver: messages per drain pass
@@ -222,6 +233,8 @@ class ThreadEngine final : public TaskSink, public EngineHooks {
   // Null unless NetOptions::enabled() at construction.
   const FaultPlane* fault_plane() const { return fault_.get(); }
   const ChannelManager* channels() const { return chan_.get(); }
+  // The message plane underneath everything (never null).
+  const Transport& transport() const { return *transport_; }
   // Per-PE counters and histograms.
   obs::MetricsRegistry& metrics_registry() { return reg_; }
   const obs::MetricsRegistry& metrics_registry() const { return reg_; }
@@ -274,10 +287,12 @@ class ThreadEngine final : public TaskSink, public EngineHooks {
   std::unique_ptr<Mutator> mutator_;
   std::unique_ptr<Controller> controller_;
 
-  std::vector<std::unique_ptr<Mailbox>> mail_;
+  // Cross-PE delivery plane: InProcTransport (mailboxes) by default, a
+  // SocketTransport when NetOptions::transport selects uds/tcp.
+  std::unique_ptr<Transport> transport_;
   // Fast-path sender staging (fault-free plane only; the channel batches on
   // its own when active). out_[src][dst] holds cross-PE marking messages
-  // awaiting a coalesced deliver_batch. No locks: row src belongs to PE
+  // awaiting a coalesced send_batch. No locks: row src belongs to PE
   // thread src alone; external (tl_pe == -1) spawns bypass staging.
   struct OutBatch {
     std::vector<Mailbox::Bytes> msgs;

@@ -1,0 +1,319 @@
+#include "runtime/worker_engine.h"
+
+#include <poll.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace dgr {
+
+WorkerEngine::WorkerEngine(Socket sock, FrameCodec codec,
+                           std::uint32_t worker_index, WorkerConfig cfg)
+    : sock_(std::move(sock)),
+      codec_(std::move(codec)),
+      index_(worker_index),
+      cfg_(cfg),
+      g_(cfg.num_pes, 1),
+      marker_(g_, *this),
+      t0_(std::chrono::steady_clock::now()) {
+  // Termination detection runs here when this worker owns the collapsing
+  // root: the rootpar return raises done, and the controller learns of it
+  // through a kPlaneDone frame (never through a local callback chain).
+  marker_.set_done_callback([this](Plane p) {
+    NetFrame f;
+    f.type = FrameType::kPlaneDone;
+    f.src = cfg_.pe_begin;
+    f.payload = encode_plane_signal(p, marker_.epoch(p));
+    send_frame(f);
+  });
+  if (cfg_.faults.any()) {
+    FaultPlaneOptions fopt;
+    fopt.seed = cfg_.fault_seed;
+    fopt.spec = cfg_.faults;
+    fault_ = std::make_unique<FaultPlane>(
+        cfg_.num_pes, fopt,
+        [this](PeId src, PeId dst, FaultPlane::Bytes msg) {
+          send_data(src, dst, std::move(msg));
+        });
+  }
+  if (cfg_.use_channel) {
+    chan_ = std::make_unique<ChannelManager>(
+        cfg_.num_pes, cfg_.reliable,
+        [this](PeId src, PeId dst, ChannelManager::Bytes frame) {
+          if (fault_) {
+            fault_->send(src, dst, std::move(frame));
+          } else {
+            send_data(src, dst, std::move(frame));
+          }
+        });
+  }
+}
+
+void WorkerEngine::send_frame(const NetFrame& f) {
+  const std::vector<std::uint8_t> wire = encode_frame(f);
+  if (!sock_.write_all(wire.data(), wire.size())) fatal_ = true;
+}
+
+void WorkerEngine::send_data(PeId src, PeId dst,
+                             std::vector<std::uint8_t> bytes) {
+  NetFrame f;
+  f.type = FrameType::kData;
+  f.src = src;
+  f.dst = dst;
+  f.payload = std::move(bytes);
+  send_frame(f);
+}
+
+void WorkerEngine::spawn(Task t) {
+  DGR_CHECK_MSG(task_is_marking(t.kind),
+                "worker replicas execute marking tasks only");
+  const PeId dst = t.d.pe;
+  if (owns(dst)) {
+    q_.push_back(t);
+    return;
+  }
+  std::vector<std::uint8_t> bytes = encode_task(t);
+  if (chan_) {
+    chan_->send(cur_pe_, dst, std::move(bytes), now_us());
+  } else {
+    send_data(cur_pe_, dst, std::move(bytes));
+  }
+}
+
+void WorkerEngine::exec_local(Task t) {
+  q_.push_back(std::move(t));
+  drain_local();
+}
+
+void WorkerEngine::drain_local() {
+  while (!q_.empty()) {
+    const Task t = q_.front();
+    q_.pop_front();
+    cur_pe_ = t.d.pe;
+    marker_.exec(t);
+  }
+}
+
+void WorkerEngine::service_channel() {
+  if (!chan_) return;
+  const std::uint64_t now = now_us();
+  for (PeId pe = cfg_.pe_begin; pe < cfg_.pe_begin + cfg_.pe_count; ++pe) {
+    chan_->flush(pe, now);
+    chan_->service(pe, now);
+  }
+}
+
+void WorkerEngine::send_mark_report(Plane plane, std::uint64_t epoch) {
+  // Order matters: release everything the fault plane is holding (all
+  // duplicates or stale by the wave-termination argument in DESIGN.md §7),
+  // flush channel batches, then report. The report is the controller's
+  // signal that this worker's partition state is final for the wave.
+  if (fault_) fault_->flush();
+  service_channel();
+  drain_local();
+  NetFrame f;
+  f.type = FrameType::kMarkReport;
+  f.src = cfg_.pe_begin;
+  f.payload = encode_mark_report(g_, plane, epoch, cfg_.pe_begin,
+                                 cfg_.pe_count, marker_.stats(plane));
+  send_frame(f);
+}
+
+bool WorkerEngine::handle_frame(NetFrame f) {
+  switch (f.type) {
+    case FrameType::kHandoff: {
+      if (!apply_handoff(f.payload, g_)) {
+        DGR_ERROR("worker %u: malformed handoff", index_);
+        fatal_ = true;
+        return false;
+      }
+      return true;
+    }
+    case FrameType::kPlaneBegin: {
+      Plane plane;
+      std::uint64_t epoch = 0;
+      if (!decode_plane_signal(f.payload, plane, epoch)) {
+        fatal_ = true;
+        return false;
+      }
+      marker_.begin_remote(plane, epoch);
+      return true;
+    }
+    case FrameType::kRescueBegin: {
+      Plane plane;
+      std::uint64_t epoch = 0;
+      if (!apply_rescue_begin(f.payload, g_, plane, epoch)) {
+        fatal_ = true;
+        return false;
+      }
+      marker_.reopen_remote(plane);
+      return true;
+    }
+    case FrameType::kSeed: {
+      exec_local(decode_task(f.payload));
+      return true;
+    }
+    case FrameType::kData: {
+      if (chan_) {
+        for (auto& payload : chan_->on_frame(f.dst, f.payload, now_us())) {
+          const std::optional<Task> t = try_decode_task(payload);
+          if (t) exec_local(*t);
+        }
+      } else {
+        exec_local(decode_task(f.payload));
+      }
+      return true;
+    }
+    case FrameType::kQuiesce: {
+      Plane plane;
+      std::uint64_t epoch = 0;
+      if (!decode_plane_signal(f.payload, plane, epoch)) {
+        fatal_ = true;
+        return false;
+      }
+      send_mark_report(plane, epoch);
+      return true;
+    }
+    case FrameType::kShutdown: {
+      clean_shutdown_ = true;
+      return false;
+    }
+    case FrameType::kRegisterAck:
+      return true;  // late duplicate; registration already completed
+    default:
+      DGR_ERROR("worker %u: unexpected frame type %s", index_,
+                frame_type_name(f.type));
+      fatal_ = true;
+      return false;
+  }
+}
+
+int WorkerEngine::run() {
+  std::vector<std::uint8_t> rbuf(1 << 16);
+  // Frames may already sit in the codec (bytes that trailed the ack).
+  NetFrame f;
+  while (codec_.next(f)) {
+    if (!handle_frame(std::move(f))) return clean_shutdown_ ? 0 : 1;
+    f = NetFrame{};
+  }
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = sock_.fd();
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int pr = ::poll(&pfd, 1, /*timeout_ms=*/1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return 1;
+    }
+    if (pr > 0) {
+      const long n = rbuf.empty() ? 0 : sock_.read_some(rbuf.data(),
+                                                        rbuf.size());
+      if (n <= 0) return clean_shutdown_ ? 0 : 1;
+      codec_.feed(rbuf.data(), static_cast<std::size_t>(n));
+      if (codec_.error()) {
+        DGR_ERROR("worker %u: stream error: %s", index_,
+                  codec_.error_reason());
+        return 1;
+      }
+      while (codec_.next(f)) {
+        if (!handle_frame(std::move(f))) return clean_shutdown_ ? 0 : 1;
+        if (fatal_) return 1;
+        f = NetFrame{};
+      }
+    }
+    if (fatal_) return 1;
+    // Idle tick: retransmit timers and deferred acks live here — a dropped
+    // worker↔worker frame leaves both sockets silent until an RTO fires.
+    service_channel();
+  }
+}
+
+int worker_main(int argc, char** argv) {
+  std::string addr_str;
+  std::uint32_t index = kAnyWorkerIndex;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--connect" && i + 1 < argc) {
+      addr_str = argv[++i];
+    } else if (a == "--index" && i + 1 < argc) {
+      index = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: dgr_worker --connect <tcp:H:P|uds:PATH> "
+                   "--index <n>\n");
+      return 2;
+    }
+  }
+  SocketAddr addr;
+  if (!SocketAddr::parse(addr_str, addr)) {
+    std::fprintf(stderr, "dgr_worker: bad --connect address '%s'\n",
+                 addr_str.c_str());
+    return 2;
+  }
+  Socket sock = socket_connect(addr, /*timeout_ms=*/10000);
+  if (!sock.valid()) {
+    std::fprintf(stderr, "dgr_worker: cannot reach controller at %s\n",
+                 addr.str().c_str());
+    return 2;
+  }
+
+  // Registration handshake: kRegister must be the first frame on the wire;
+  // the reply is kRegisterAck (carrying this worker's config) or kReject.
+  RegisterMsg reg;
+  reg.worker_index = index;
+  NetFrame rf;
+  rf.type = FrameType::kRegister;
+  rf.src = index;
+  rf.payload = encode_register(reg);
+  const std::vector<std::uint8_t> wire = encode_frame(rf);
+  if (!sock.write_all(wire.data(), wire.size())) return 2;
+
+  FrameCodec codec;
+  std::vector<std::uint8_t> buf(1 << 16);
+  for (;;) {
+    NetFrame f;
+    if (codec.next(f)) {
+      if (f.type == FrameType::kReject) {
+        RejectMsg rej;
+        decode_reject(f.payload, rej);
+        std::fprintf(stderr, "dgr_worker: registration rejected (%u): %s\n",
+                     rej.code, rej.reason.c_str());
+        return 3;
+      }
+      if (f.type != FrameType::kRegisterAck) {
+        std::fprintf(stderr, "dgr_worker: expected ack, got %s\n",
+                     frame_type_name(f.type));
+        return 3;
+      }
+      RegisterAckMsg ack;
+      if (!decode_register_ack(f.payload, ack)) {
+        std::fprintf(stderr, "dgr_worker: malformed registration ack\n");
+        return 3;
+      }
+      // Frames behind the ack stay in the codec and are replayed by run().
+      WorkerEngine eng(std::move(sock), std::move(codec), ack.worker_index,
+                       ack.config);
+      return eng.run();
+    }
+    const long n = sock.read_some(buf.data(), buf.size());
+    if (n <= 0) {
+      std::fprintf(stderr, "dgr_worker: controller closed during handshake\n");
+      return 3;
+    }
+    codec.feed(buf.data(), static_cast<std::size_t>(n));
+    if (codec.error()) {
+      std::fprintf(stderr, "dgr_worker: handshake stream error: %s\n",
+                   codec.error_reason());
+      return 3;
+    }
+  }
+}
+
+}  // namespace dgr

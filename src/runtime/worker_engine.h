@@ -1,0 +1,94 @@
+// The worker half of ProcEngine: a single-threaded marking executor over a
+// graph-partition replica, driven entirely by frames from the controller
+// socket (docs/CLUSTER.md walks the lifecycle).
+//
+// A worker owns a contiguous PE block [pe_begin, pe_begin + pe_count). It
+// receives partition handoffs (kHandoff) before every marking plane, opens
+// the plane at the controller's epoch (kPlaneBegin / kRescueBegin), executes
+// mark/return tasks for its own PEs, and ships cross-worker child marks as
+// kData frames that the controller hub relays to the owner — optionally
+// through the worker-side reliable channel + fault plane, so the chaos
+// schedule exercises the full recovery discipline across real process
+// boundaries. When its replica observes the termination return to rootpar it
+// reports kPlaneDone; on kQuiesce it flushes its planes and answers with a
+// kMarkReport for the controller to merge.
+//
+// Single-threadedness is load-bearing: frames are handled strictly in
+// arrival order and each task executes to completion (including its local
+// child cascade) before the next frame is read, so a kQuiesce can never
+// overtake work the controller already counted.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "core/marker.h"
+#include "core/task.h"
+#include "net/fault_plane.h"
+#include "net/frame.h"
+#include "net/proto.h"
+#include "net/reliable_channel.h"
+#include "net/socket.h"
+
+namespace dgr {
+
+class WorkerEngine final : public TaskSink {
+ public:
+  // `sock` is the registered controller connection; `codec` carries any
+  // bytes that followed the kRegisterAck in the same read.
+  WorkerEngine(Socket sock, FrameCodec codec, std::uint32_t worker_index,
+               WorkerConfig cfg);
+
+  WorkerEngine(const WorkerEngine&) = delete;
+  WorkerEngine& operator=(const WorkerEngine&) = delete;
+
+  // Frame loop until kShutdown (returns 0), peer loss or a protocol error
+  // (nonzero). Never returns while the controller is healthy.
+  int run();
+
+  // ---- TaskSink (marker callbacks during exec) ----
+  void spawn(Task t) override;
+
+ private:
+  bool owns(PeId pe) const {
+    return pe >= cfg_.pe_begin && pe < cfg_.pe_begin + cfg_.pe_count;
+  }
+  // Returns false when the loop should stop (kShutdown or fatal error).
+  bool handle_frame(NetFrame f);
+  void exec_local(Task t);
+  void drain_local();
+  void send_frame(const NetFrame& f);
+  void send_data(PeId src, PeId dst, std::vector<std::uint8_t> bytes);
+  void service_channel();
+  void send_mark_report(Plane plane, std::uint64_t epoch);
+  std::uint64_t now_us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+  }
+
+  Socket sock_;
+  FrameCodec codec_;
+  std::uint32_t index_;
+  WorkerConfig cfg_;
+  Graph g_;
+  Marker marker_;
+  // Worker-side message plane for worker↔worker marks (sender-side state for
+  // pairs whose src this worker owns, receiver-side for its dst PEs).
+  std::unique_ptr<FaultPlane> fault_;
+  std::unique_ptr<ChannelManager> chan_;
+  std::deque<Task> q_;       // locally-owned tasks awaiting execution
+  PeId cur_pe_ = 0;          // PE context of the task being executed
+  bool clean_shutdown_ = false;
+  bool fatal_ = false;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+// Parse `--connect ADDR --index N`, register with the controller and run a
+// WorkerEngine over the accepted connection. The dgr_worker binary is this.
+int worker_main(int argc, char** argv);
+
+}  // namespace dgr

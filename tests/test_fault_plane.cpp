@@ -21,7 +21,9 @@ Bytes msg(std::uint8_t tag, std::size_t n = 8) { return Bytes(n, tag); }
 struct Transcript {
   std::vector<std::pair<PeId, Bytes>> out;
   FaultPlane::DeliverFn fn() {
-    return [this](PeId dst, Bytes b) { out.emplace_back(dst, std::move(b)); };
+    return [this](PeId, PeId dst, Bytes b) {
+      out.emplace_back(dst, std::move(b));
+    };
   }
 };
 

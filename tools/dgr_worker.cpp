@@ -1,0 +1,5 @@
+// ProcEngine worker process: connect to the controller hub, register, run
+// the single-threaded marking replica until kShutdown. See docs/CLUSTER.md.
+#include "runtime/worker_engine.h"
+
+int main(int argc, char** argv) { return dgr::worker_main(argc, argv); }
