@@ -12,7 +12,12 @@
 //   --detect-deadlock  run M_T in --gc cycles; report deadlocked vertices
 //                    if evaluation wedges
 //   --latency N      cross-PE message delivery delay, in sim steps
-//   --stats          print machine/engine statistics
+//   --stats [N]      print machine/engine statistics; with a numeric N, also
+//                    print a live one-line health rollup every N audit
+//                    cycles (marks/s, remote share, retransmits, worker
+//                    liveness, telemetry drops)
+//   --stats-jsonl FILE  append the health rollup as JSONL rows (machine
+//                    form of --stats N; implies a period of 1 if none given)
 //   --trace FILE     write a Chrome trace_event file (implies --gc; load in
 //                    chrome://tracing or https://ui.perfetto.dev)
 //   --trace-jsonl FILE  write the raw trace as deterministic JSONL
@@ -62,6 +67,17 @@
 // With --audit, any --trace/--trace-jsonl/--metrics also writes the audit
 // phase's own exports next to the sim phase's, as "<path>.audit.json[l]"
 // (those carry the fault_injected / retransmit events dgr_analyze rolls up).
+//
+// With --workers N the primary --trace/--trace-jsonl/--metrics paths carry
+// the CLUSTER view of the multi-process phase: the Chrome trace merges the
+// controller and every worker into one timeline (pid 0 = controller, pid
+// w+1 = worker w; worker timestamps rebased onto the controller clock), the
+// JSONL holds the same merged stream, and the metrics JSON is the merged
+// registry plus a per-worker "workers":[...] rollup. The sim phase's own
+// exports move to "<path>.sim.json[l]" (docs/OBSERVABILITY.md).
+#include <algorithm>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -70,6 +86,7 @@
 #include <string>
 
 #include "obs/export.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "reduction/machine.h"
 #include "runtime/proc_engine.h"
@@ -103,6 +120,64 @@ std::string read_all(const char* path) {
   return ss.str();
 }
 
+// Live health rollup (--stats N / --stats-jsonl): samples registry totals
+// after each audit cycle and emits one line per N-cycle window. Pure
+// delta-of-totals sampling, so the same emitter serves the threaded and the
+// multi-process phases.
+class HealthEmitter {
+ public:
+  HealthEmitter(std::uint32_t period, const char* jsonl_path)
+      : period_(period), last_(std::chrono::steady_clock::now()) {
+    if (jsonl_path) {
+      jsonl_.open(jsonl_path, std::ios::binary);
+      if (!jsonl_) {
+        std::fprintf(stderr, "dgr_run: cannot write '%s'\n", jsonl_path);
+        std::exit(2);
+      }
+    }
+  }
+
+  bool enabled() const { return period_ != 0; }
+
+  void on_cycle(const dgr::obs::MetricsRegistry& reg, std::uint64_t cycle,
+                std::uint32_t workers_live, std::uint32_t workers_total) {
+    using dgr::obs::Counter;
+    if (!enabled() || cycle % period_ != 0) return;
+    const auto now = std::chrono::steady_clock::now();
+    dgr::obs::HealthSnapshot s;
+    s.cycle = cycle;
+    s.cycles_window = period_;
+    s.window_ms =
+        std::chrono::duration<double, std::milli>(now - last_).count();
+    const std::uint64_t marks =
+        reg.total(Counter::kMarkTasks) + reg.total(Counter::kReturnTasks);
+    const std::uint64_t remote = reg.total(Counter::kRemoteMessages);
+    const std::uint64_t local = reg.total(Counter::kLocalMessages);
+    const std::uint64_t retx = reg.total(Counter::kMsgRetransmit);
+    s.marks = marks - prev_marks_;
+    s.remote_msgs = remote - prev_remote_;
+    s.local_msgs = local - prev_local_;
+    s.retransmits = retx - prev_retx_;
+    s.telemetry_dropped = reg.total(Counter::kTelemetryDropped);
+    s.workers_live = workers_live;
+    s.workers_total = workers_total;
+    prev_marks_ = marks;
+    prev_remote_ = remote;
+    prev_local_ = local;
+    prev_retx_ = retx;
+    last_ = now;
+    std::printf("# %s\n", dgr::obs::health_line(s).c_str());
+    if (jsonl_.is_open()) jsonl_ << dgr::obs::health_jsonl(s) << "\n";
+  }
+
+ private:
+  std::uint32_t period_;
+  std::ofstream jsonl_;
+  std::chrono::steady_clock::time_point last_;
+  std::uint64_t prev_marks_ = 0, prev_remote_ = 0, prev_local_ = 0,
+                prev_retx_ = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -125,6 +200,8 @@ int main(int argc, char** argv) {
   const char* trace_path = nullptr;
   const char* jsonl_path = nullptr;
   const char* metrics_path = nullptr;
+  std::uint32_t stats_period = 0;
+  const char* stats_jsonl_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--pes") && i + 1 < argc) {
       pes = static_cast<std::uint32_t>(std::atoi(argv[++i]));
@@ -148,6 +225,11 @@ int main(int argc, char** argv) {
       detect = true;
     } else if (!std::strcmp(argv[i], "--stats")) {
       stats = true;
+      // Optional numeric argument: health-rollup period in audit cycles.
+      if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(argv[i + 1][0])))
+        stats_period = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--stats-jsonl") && i + 1 < argc) {
+      stats_jsonl_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--audit") && i + 1 < argc) {
       audit_period = static_cast<std::uint32_t>(std::atoi(argv[++i]));
       gc = true;  // auditing is about the marking cycles
@@ -207,6 +289,12 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (stats_jsonl_path && stats_period == 0) stats_period = 1;
+  if (stats_period && audit_period == 0) {
+    // The rollup samples at the audit-cycle boundary; arm the audit phase.
+    gc = true;
+    audit_period = 1;
+  }
   if (net.enabled() || workers > 0) {
     // Faults and multi-process runs exercise the audit phase; make sure it
     // runs, auditing every cycle unless the user chose a coarser period.
@@ -216,7 +304,8 @@ int main(int argc, char** argv) {
   if (!path) {
     std::fprintf(stderr,
                  "usage: dgr_run [--pes N] [--seed S] [--speculate] [--gc] "
-                 "[--detect-deadlock] [--stats] [--trace FILE] "
+                 "[--detect-deadlock] [--stats [N]] [--stats-jsonl FILE] "
+                 "[--trace FILE] "
                  "[--trace-jsonl FILE] [--metrics FILE] [--audit N] "
                  "[--audit-cycles K] [--health-fatal] [--fault-seed S] "
                  "[--fault-drop P] [--fault-dup P] [--fault-reorder P] "
@@ -315,16 +404,26 @@ int main(int argc, char** argv) {
                 (unsigned long long)engine.controller().cycles_completed(),
                 (unsigned long long)engine.controller().total_swept());
   }
+  // In multi-process mode the primary export paths carry the merged cluster
+  // view of the audit phase; the sim phase's own exports step aside.
+  const bool proc_mode = audit_period && workers > 0;
 #if DGR_TRACE_ENABLED
   if (trace_path || jsonl_path) {
     const std::vector<obs::TraceEvent> events = engine.trace()->snapshot();
     if (trace_path)
-      write_file(trace_path, obs::to_chrome_trace(events, graph.num_pes()));
-    if (jsonl_path) write_file(jsonl_path, obs::to_jsonl(events));
+      write_file(proc_mode ? std::string(trace_path) + ".sim.json"
+                           : std::string(trace_path),
+                 obs::to_chrome_trace(events, graph.num_pes()));
+    if (jsonl_path)
+      write_file(proc_mode ? std::string(jsonl_path) + ".sim.jsonl"
+                           : std::string(jsonl_path),
+                 obs::to_jsonl(events));
   }
 #endif
   if (metrics_path)
-    write_file(metrics_path, engine.metrics_registry().to_json() + "\n");
+    write_file(proc_mode ? std::string(metrics_path) + ".sim.json"
+                         : std::string(metrics_path),
+               engine.metrics_registry().to_json() + "\n");
 
   if (audit_period && workers > 0) {
     // Multi-process audit phase: same safe-point audits over the evaluated
@@ -352,26 +451,42 @@ int main(int argc, char** argv) {
     if (trace_path || jsonl_path) peng.enable_trace();
 #endif
     peng.start();
+    HealthEmitter health(stats_period, stats_jsonl_path);
     for (std::uint32_t i = 0; i < audit_cycles && !peng.failed(); ++i) {
       peng.controller().start_cycle(CycleOptions{detect});
       peng.wait_cycle_done();
+      health.on_cycle(peng.metrics(), i + 1,
+                      peng.failed() ? 0 : peng.num_workers(),
+                      peng.num_workers());
     }
     const bool worker_died = peng.failed();
     peng.stop();
-    // Controller-side trace of the multi-process phase, written with the
-    // same ".audit" suffixes the threaded phase uses so dgr_analyze's
-    // rollup tooling works unchanged.
+    // Cluster observability on the PRIMARY paths: one Chrome trace merging
+    // the controller (pid 0) with every worker (pid w+1), worker timestamps
+    // rebased onto the controller clock; the JSONL is the same merged
+    // stream; the metrics JSON is the merged registry plus the per-worker
+    // rollup dgr_analyze's cluster section reads.
 #if DGR_TRACE_ENABLED
     if (trace_path || jsonl_path) {
-      const std::vector<obs::TraceEvent> ev = peng.trace()->snapshot();
+      const std::vector<obs::TraceEvent> ctrl = peng.trace()->snapshot();
+      const std::vector<std::vector<obs::TraceEvent>> wtr =
+          peng.worker_traces();
       if (trace_path)
-        write_file(std::string(trace_path) + ".audit.json",
-                   obs::to_chrome_trace(ev, graph.num_pes()));
-      if (jsonl_path)
-        write_file(std::string(jsonl_path) + ".audit.jsonl",
-                   obs::to_jsonl(ev));
+        write_file(trace_path,
+                   obs::to_chrome_trace_cluster(ctrl, wtr, graph.num_pes()));
+      if (jsonl_path) {
+        std::vector<obs::TraceEvent> merged = ctrl;
+        for (const auto& w : wtr) merged.insert(merged.end(), w.begin(), w.end());
+        std::stable_sort(merged.begin(), merged.end(),
+                         [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+                           return a.ts < b.ts;
+                         });
+        write_file(jsonl_path, obs::to_jsonl(merged));
+      }
     }
 #endif
+    if (metrics_path)
+      write_file(metrics_path, peng.cluster_metrics_json() + "\n");
     const AuditStats& as = peng.audit_stats();
     const ProcEngineStats ps = peng.stats();
     std::printf("# proc audit: %llu safe-point audits, %llu violations; "
@@ -390,6 +505,18 @@ int main(int argc, char** argv) {
         (unsigned long long)ps.transport.accepts,
         (unsigned long long)ps.transport.reconnects,
         (unsigned long long)ps.transport.partial_read_resumes);
+    std::printf(
+        "# relay: frames=%llu bytes=%llu | telemetry: msgs=%llu dropped=%llu\n",
+        (unsigned long long)ps.transport.frames_relayed,
+        (unsigned long long)ps.transport.bytes_relayed,
+        (unsigned long long)peng.metrics().total(obs::Counter::kTelemetryMsgs),
+        (unsigned long long)peng.metrics().total(
+            obs::Counter::kTelemetryDropped));
+    std::printf("# clock offsets (us, worker minus controller):");
+    for (std::uint32_t w = 0; w < peng.num_workers(); ++w)
+      std::printf(" w%u=%lld(rtt %llu)", w, (long long)peng.clock_offset_us(w),
+                  (unsigned long long)peng.clock_rtt_us(w));
+    std::printf("\n");
     std::printf(
         "# protocol: planes=%llu handoffs=%llu (%llu bytes) seeds=%llu "
         "rescue_begins=%llu reports_merged=%llu\n",
@@ -431,9 +558,11 @@ int main(int argc, char** argv) {
     if (trace_path || jsonl_path) teng.enable_trace();
 #endif
     teng.start();
+    HealthEmitter health(stats_period, stats_jsonl_path);
     for (std::uint32_t i = 0; i < audit_cycles; ++i) {
       teng.controller().start_cycle(CycleOptions{detect});
       teng.wait_cycle_done();
+      health.on_cycle(teng.metrics_registry(), i + 1, 0, 0);
     }
     teng.stop();
     // The audit phase's own observability, next to (not over) the sim

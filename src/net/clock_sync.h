@@ -1,0 +1,64 @@
+// Per-worker clock alignment for the cluster telemetry plane.
+//
+// The controller and each worker stamp trace events with their own monotonic
+// clocks (microseconds since their respective process start), so worker
+// events cannot be merged into the controller's timeline as-is. The offset
+// is estimated with the classic midpoint-of-RTT exchange (Cristian's
+// algorithm, the same primitive NTP builds on): the controller sends a
+// kClockProbe carrying its send time t0; the worker echoes it back in a
+// kClockEcho together with its own clock reading t_w; the controller
+// receives the echo at t1 and assumes t_w was sampled at (t0 + t1) / 2 of
+// its own timeline, giving offset = t_w − (t0 + t1) / 2 (worker minus
+// controller). The sample from the tightest exchange wins: queueing and
+// scheduling delay only ever inflate RTT, so the minimum-RTT sample bounds
+// the estimation error by rtt / 2.
+//
+// ProcEngine probes each worker once after registration and once per plane
+// begin; rebase() then maps a worker timestamp onto the controller timeline
+// (clamped at zero — a constant offset preserves each lane's monotonicity,
+// which is all the merged trace promises).
+#pragma once
+
+#include <cstdint>
+
+namespace dgr {
+
+class ClockSync {
+ public:
+  // One probe/echo exchange: the controller sent at t0 and received the echo
+  // at t1 (both its own clock); the worker's clock read t_worker in between.
+  void on_echo(std::uint64_t t0_us, std::uint64_t t1_us,
+               std::uint64_t t_worker_us) {
+    if (t1_us < t0_us) return;  // controller clock misbehaved; discard
+    ++samples_;
+    const std::uint64_t rtt = t1_us - t0_us;
+    if (rtt > best_rtt_) return;
+    best_rtt_ = rtt;
+    offset_us_ = static_cast<std::int64_t>(t_worker_us) -
+                 static_cast<std::int64_t>((t0_us + t1_us) / 2);
+  }
+
+  bool valid() const { return samples_ > 0; }
+  std::uint64_t samples() const { return samples_; }
+  // Estimated worker-minus-controller clock offset (may be negative: a
+  // worker forked later than the controller usually reads behind it).
+  std::int64_t offset_us() const { return offset_us_; }
+  // RTT of the exchange the estimate came from (its error bound is rtt/2).
+  std::uint64_t rtt_us() const { return valid() ? best_rtt_ : 0; }
+
+  // Map a worker timestamp onto the controller timeline. Clamps at zero:
+  // an event stamped before the (rebased) controller epoch pins to 0 rather
+  // than wrapping, keeping the lane monotone.
+  std::uint64_t rebase(std::uint64_t worker_ts_us) const {
+    const std::int64_t r =
+        static_cast<std::int64_t>(worker_ts_us) - offset_us_;
+    return r < 0 ? 0 : static_cast<std::uint64_t>(r);
+  }
+
+ private:
+  std::uint64_t samples_ = 0;
+  std::uint64_t best_rtt_ = ~0ull;
+  std::int64_t offset_us_ = 0;
+};
+
+}  // namespace dgr

@@ -35,6 +35,9 @@ const char* frame_type_name(FrameType t) {
     case FrameType::kMarkReport: return "mark_report";
     case FrameType::kPlaneDone: return "plane_done";
     case FrameType::kShutdown: return "shutdown";
+    case FrameType::kTelemetry: return "telemetry";
+    case FrameType::kClockProbe: return "clock_probe";
+    case FrameType::kClockEcho: return "clock_echo";
   }
   return "?";
 }

@@ -48,6 +48,10 @@ enum class FrameType : std::uint8_t {
   kMarkReport = 9,   // worker → controller: per-vertex mark results
   kPlaneDone = 10,   // worker → controller: termination return reached root
   kShutdown = 11,    // controller → workers: exit cleanly
+  // Telemetry plane (docs/OBSERVABILITY.md "Observing a cluster run").
+  kTelemetry = 12,   // worker → controller: metrics/trace delta per quiesce
+  kClockProbe = 13,  // controller → worker: clock-offset probe (echoed back)
+  kClockEcho = 14,   // worker → controller: probe + worker clock sample
 };
 
 const char* frame_type_name(FrameType t);

@@ -60,6 +60,8 @@ Bytes encode_worker_config(const WorkerConfig& c) {
   w.u32(c.reliable.max_retransmit_batch);
   w.u32(c.reliable.batch_bytes);
   w.u64(c.reliable.batch_flush_us);
+  w.u8(c.trace_enabled ? 1 : 0);
+  w.u32(c.trace_capacity);
   return w.take();
 }
 
@@ -80,6 +82,8 @@ bool decode_worker_config(const Bytes& b, WorkerConfig& out) {
   out.reliable.max_retransmit_batch = r.u32();
   out.reliable.batch_bytes = r.u32();
   out.reliable.batch_flush_us = r.u64();
+  out.trace_enabled = r.u8() != 0;
+  out.trace_capacity = r.u32();
   return r.done();
 }
 
@@ -360,6 +364,139 @@ bool apply_mark_report(const Bytes& b, Graph& g, Plane expect_plane,
       m.mt_par = VertexId::invalid();
     }
   }
+  return r.done();
+}
+
+// ---- Telemetry plane ----
+
+Bytes encode_clock_probe(const ClockProbeMsg& m) {
+  ByteWriter w;
+  w.u32(m.seq);
+  w.u64(m.t_controller_us);
+  return w.take();
+}
+
+bool decode_clock_probe(const Bytes& b, ClockProbeMsg& out) {
+  ByteReader r(b);
+  out.seq = r.u32();
+  out.t_controller_us = r.u64();
+  return r.done();
+}
+
+Bytes encode_clock_echo(const ClockEchoMsg& m) {
+  ByteWriter w;
+  w.u32(m.seq);
+  w.u64(m.t_controller_us);
+  w.u64(m.t_worker_us);
+  return w.take();
+}
+
+bool decode_clock_echo(const Bytes& b, ClockEchoMsg& out) {
+  ByteReader r(b);
+  out.seq = r.u32();
+  out.t_controller_us = r.u64();
+  out.t_worker_us = r.u64();
+  return r.done();
+}
+
+Bytes encode_telemetry(const TelemetryMsg& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(m.plane));
+  w.u64(m.epoch);
+  w.u32(m.pe_begin);
+  w.u32(m.pe_count);
+  w.u32(static_cast<std::uint32_t>(m.counters.size()));
+  for (const TelemetryMsg::CounterDelta& c : m.counters) {
+    w.u32(c.pe);
+    w.u8(c.counter);
+    w.u64(c.delta);
+  }
+  w.u32(static_cast<std::uint32_t>(m.hists.size()));
+  for (const TelemetryMsg::HistDelta& h : m.hists) {
+    w.u32(h.pe);
+    w.u8(h.hist);
+    w.u64(std::bit_cast<std::uint64_t>(h.max));
+    w.u32(static_cast<std::uint32_t>(h.buckets.size()));
+    for (const auto& [bucket, count] : h.buckets) {
+      w.u32(bucket);
+      w.u64(count);
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(m.events.size()));
+  for (const obs::TraceEvent& e : m.events) {
+    w.u64(e.ts);
+    w.u64(e.cycle);
+    w.u64(e.a);
+    w.u64(e.b);
+    w.u8(static_cast<std::uint8_t>(e.type));
+    w.u8(static_cast<std::uint8_t>(e.plane));
+    w.u32(e.pe);
+  }
+  w.u64(m.events_omitted);
+  w.u64(m.ring_dropped);
+  return w.take();
+}
+
+bool decode_telemetry(const Bytes& b, TelemetryMsg& out) {
+  ByteReader r(b);
+  const std::uint8_t pl = r.u8();
+  if (pl > 1) return false;
+  out.plane = static_cast<Plane>(pl);
+  out.epoch = r.u64();
+  out.pe_begin = r.u32();
+  out.pe_count = r.u32();
+  const std::uint32_t nc = r.u32();
+  if (!r.ok() || nc > kMaxWireList) return false;
+  out.counters.clear();
+  out.counters.reserve(nc);
+  for (std::uint32_t i = 0; i < nc; ++i) {
+    TelemetryMsg::CounterDelta c;
+    c.pe = r.u32();
+    c.counter = r.u8();
+    c.delta = r.u64();
+    if (!r.ok() || c.counter >= obs::kNumCounters) return false;
+    out.counters.push_back(c);
+  }
+  const std::uint32_t nh = r.u32();
+  if (!r.ok() || nh > kMaxWireList) return false;
+  out.hists.clear();
+  out.hists.reserve(nh);
+  for (std::uint32_t i = 0; i < nh; ++i) {
+    TelemetryMsg::HistDelta h;
+    h.pe = r.u32();
+    h.hist = r.u8();
+    h.max = std::bit_cast<double>(r.u64());
+    const std::uint32_t nb = r.u32();
+    if (!r.ok() || h.hist >= obs::kNumHists || nb > kMaxWireList) return false;
+    h.buckets.reserve(nb);
+    for (std::uint32_t j = 0; j < nb; ++j) {
+      const std::uint32_t bucket = r.u32();
+      const std::uint64_t count = r.u64();
+      h.buckets.emplace_back(bucket, count);
+    }
+    out.hists.push_back(std::move(h));
+  }
+  const std::uint32_t ne = r.u32();
+  if (!r.ok() || ne > kMaxTelemetryEvents) return false;
+  out.events.clear();
+  out.events.reserve(ne);
+  for (std::uint32_t i = 0; i < ne; ++i) {
+    obs::TraceEvent e;
+    e.ts = r.u64();
+    e.cycle = r.u64();
+    e.a = r.u64();
+    e.b = r.u64();
+    const std::uint8_t type = r.u8();
+    const std::uint8_t eplane = r.u8();
+    const std::uint32_t pe = r.u32();
+    if (!r.ok() || type >= obs::kNumEventTypes || eplane > 1) return false;
+    e.type = static_cast<obs::EventType>(type);
+    e.plane = static_cast<Plane>(eplane);
+    e.pe = static_cast<std::uint16_t>(pe);
+    out.events.push_back(e);
+  }
+  out.events_omitted = r.u64();
+  out.ring_dropped = r.u64();
   return r.done();
 }
 

@@ -23,6 +23,8 @@
 #include "net/fault_plane.h"
 #include "net/reliable_channel.h"
 #include "net/wire.h"
+#include "obs/metrics.h"  // Counter/Hist index bounds (inline constants only)
+#include "obs/trace.h"    // TraceEvent — a header-only POD, trace-off safe
 
 namespace dgr {
 
@@ -44,6 +46,10 @@ struct WorkerConfig {
   std::uint64_t fault_seed = 1;
   FaultSpec faults;            // injected above the channel, worker side
   ReliableOptions reliable;
+  // Telemetry plane: capture a worker-side trace ring and ship it at every
+  // quiesce (honored only in DGR_TRACE builds; counters always ship).
+  bool trace_enabled = false;
+  std::uint32_t trace_capacity = 1u << 14;
 };
 
 Bytes encode_worker_config(const WorkerConfig& c);
@@ -108,5 +114,70 @@ Bytes encode_mark_report(const Graph& g, Plane plane, std::uint64_t epoch,
 // as 0 / invalid). Returns false on a malformed payload or epoch mismatch.
 bool apply_mark_report(const Bytes& b, Graph& g, Plane expect_plane,
                        std::uint64_t expect_epoch, MarkStats& stats_out);
+
+// ---- Telemetry plane (net/clock_sync.h has the offset estimator) ----
+
+// kClockProbe payload (controller → worker). The worker echoes every field
+// back in its kClockEcho so the controller computes RTT and offset without
+// per-sequence bookkeeping.
+struct ClockProbeMsg {
+  std::uint32_t seq = 0;
+  std::uint64_t t_controller_us = 0;
+};
+Bytes encode_clock_probe(const ClockProbeMsg& m);
+bool decode_clock_probe(const Bytes& b, ClockProbeMsg& out);
+
+// kClockEcho payload (worker → controller).
+struct ClockEchoMsg {
+  std::uint32_t seq = 0;
+  std::uint64_t t_controller_us = 0;  // echoed probe field
+  std::uint64_t t_worker_us = 0;      // worker clock at echo time
+};
+Bytes encode_clock_echo(const ClockEchoMsg& m);
+bool decode_clock_echo(const Bytes& b, ClockEchoMsg& out);
+
+// Hard cap on trace events per kTelemetry payload. A quiesce interval that
+// drained more is truncated (newest dropped) and the remainder surfaces in
+// events_omitted — the payload stays bounded no matter how hot the plane.
+inline constexpr std::size_t kMaxTelemetryEvents = 8192;
+
+// kTelemetry payload (worker → controller), sent at every quiesce barrier
+// immediately before the kMarkReport on the same FIFO connection — so the
+// controller has merged the interval's telemetry before the wave's final
+// report lets the cycle advance. Counters and histogram buckets travel as
+// deltas since the worker's previous report (nonzero entries only): the
+// wire cost tracks activity, not registry width.
+struct TelemetryMsg {
+  Plane plane = Plane::kR;
+  std::uint64_t epoch = 0;
+  std::uint32_t pe_begin = 0;  // owned PE block, mirrors the mark report
+  std::uint32_t pe_count = 0;
+
+  struct CounterDelta {
+    std::uint32_t pe = 0;
+    std::uint8_t counter = 0;  // obs::Counter index
+    std::uint64_t delta = 0;
+  };
+  std::vector<CounterDelta> counters;
+
+  // One entry per (pe, hist) with activity: the changed log-buckets plus the
+  // worker's cumulative max for that histogram (bucket midpoints alone would
+  // understate it on the controller).
+  struct HistDelta {
+    std::uint32_t pe = 0;
+    std::uint8_t hist = 0;  // obs::Hist index
+    double max = 0.0;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+  };
+  std::vector<HistDelta> hists;
+
+  // Trace events drained from the worker's ring this interval (empty under
+  // -DDGR_TRACE=OFF), capped at kMaxTelemetryEvents.
+  std::vector<obs::TraceEvent> events;
+  std::uint64_t events_omitted = 0;  // drained but over the payload cap
+  std::uint64_t ring_dropped = 0;    // ring overwrites since the last report
+};
+Bytes encode_telemetry(const TelemetryMsg& m);
+bool decode_telemetry(const Bytes& b, TelemetryMsg& out);
 
 }  // namespace dgr

@@ -144,6 +144,20 @@ bool SocketHub::handle_register(Conn* c, const NetFrame& f) {
 
 void SocketHub::route(Conn* c, NetFrame&& f) {
   if (f.type == FrameType::kData || f.type == FrameType::kSeed) {
+    {
+      // Worker-originated data transiting the hub toward another worker —
+      // controller-injected seeds go out via send_to_endpoint_owner directly
+      // and never pass through here.
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.frames_relayed;
+      stats_.bytes_relayed += f.payload.size();
+      if (c->worker != kAnyWorkerIndex) {
+        if (relay_by_worker_.size() <= c->worker)
+          relay_by_worker_.resize(c->worker + 1);
+        ++relay_by_worker_[c->worker].frames;
+        relay_by_worker_[c->worker].bytes += f.payload.size();
+      }
+    }
     send_to_endpoint_owner(f);
     return;
   }
@@ -228,6 +242,11 @@ void SocketHub::close() {
 TransportStats SocketHub::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   return stats_;
+}
+
+std::vector<SocketHub::RelayCount> SocketHub::relay_by_worker() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return relay_by_worker_;
 }
 
 }  // namespace dgr

@@ -81,6 +81,15 @@ class SocketHub {
 
   TransportStats stats() const;
 
+  // Per-worker relay attribution (frames, payload bytes), charged to the
+  // worker whose connection originated the relayed frame. Sized to the
+  // highest registered worker index + 1.
+  struct RelayCount {
+    std::uint64_t frames = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<RelayCount> relay_by_worker() const;
+
  private:
   struct Conn {
     Socket sock;
@@ -117,6 +126,7 @@ class SocketHub {
   std::vector<std::uint32_t> endpoint_owner_;
   bool closing_ = false;
   TransportStats stats_;
+  std::vector<RelayCount> relay_by_worker_;
 };
 
 }  // namespace dgr

@@ -39,6 +39,10 @@ struct TransportStats {
   std::uint64_t partial_read_resumes = 0;  // frames completed across >1 read
   std::uint64_t oversized_rejected = 0;    // frames over the size limit
   std::uint64_t handshakes_rejected = 0;   // registrations refused
+  // Hub relay path (controller only): worker→worker data/seed frames that
+  // transited the switchboard rather than terminating at the controller.
+  std::uint64_t frames_relayed = 0;
+  std::uint64_t bytes_relayed = 0;
 };
 
 class Transport {

@@ -239,6 +239,11 @@ TraceReport analyze(const std::vector<TraceEvent>& events) {
         ++ensure_pe(e.pe).backpressure_stall;
         break;
       }
+      case EventType::kTraceDrop: {
+        rep.trace_dropped += e.a;
+        rep.trace_events_omitted += e.b;
+        break;
+      }
       case EventType::kCount_:
         break;
     }
@@ -302,6 +307,16 @@ bool scan_double_after(const std::string& s, std::size_t from, const char* key,
   return end != p;
 }
 
+bool scan_i64_after(const std::string& s, std::size_t from, const char* key,
+                    std::int64_t* out) {
+  const std::size_t k = s.find(key, from);
+  if (k == std::string::npos) return false;
+  const char* p = s.c_str() + k + std::strlen(key);
+  char* end = nullptr;
+  *out = std::strtoll(p, &end, 10);
+  return end != p;
+}
+
 }  // namespace
 
 bool enrich_with_metrics_json(TraceReport& report, const std::string& json) {
@@ -355,6 +370,40 @@ bool enrich_with_metrics_json(TraceReport& report, const std::string& json) {
     }
     pos = at + 1;
   }
+  // Cluster rollup: present only in ProcEngine::cluster_metrics_json dumps
+  // (the "{\"worker\":N," anchor cannot collide with "{\"pe\":N," above).
+  const std::size_t workers_at = json.find("\"workers\":[");
+  if (workers_at != std::string::npos) {
+    report.workers.clear();
+    std::size_t wpos = workers_at;
+    for (std::uint32_t w = 0;; ++w) {
+      char anchor[32];
+      std::snprintf(anchor, sizeof(anchor), "{\"worker\":%u,", w);
+      const std::size_t at = json.find(anchor, wpos);
+      if (at == std::string::npos) break;
+      WorkerRow row;
+      row.worker = w;
+      std::uint64_t u = 0;
+      if (scan_u64_after(json, at, "\"pe_begin\":", &u))
+        row.pe_begin = static_cast<std::uint32_t>(u);
+      if (scan_u64_after(json, at, "\"pe_count\":", &u))
+        row.pe_count = static_cast<std::uint32_t>(u);
+      scan_u64_after(json, at, "\"marks\":", &row.marks);
+      scan_u64_after(json, at, "\"returns\":", &row.returns);
+      scan_u64_after(json, at, "\"remote_messages\":", &row.remote_messages);
+      scan_u64_after(json, at, "\"retransmits\":", &row.retransmits);
+      scan_u64_after(json, at, "\"handoff_bytes\":", &row.handoff_bytes);
+      scan_u64_after(json, at, "\"relayed_frames\":", &row.relayed_frames);
+      scan_u64_after(json, at, "\"relayed_bytes\":", &row.relayed_bytes);
+      scan_u64_after(json, at, "\"telemetry_msgs\":", &row.telemetry_msgs);
+      scan_u64_after(json, at, "\"telemetry_dropped\":",
+                     &row.telemetry_dropped);
+      scan_i64_after(json, at, "\"clock_offset_us\":", &row.clock_offset_us);
+      scan_u64_after(json, at, "\"clock_rtt_us\":", &row.clock_rtt_us);
+      report.workers.push_back(row);
+      wpos = at + 1;
+    }
+  }
   report.metrics_enriched = true;
   return true;
 }
@@ -373,6 +422,8 @@ std::string report_to_json(const TraceReport& r) {
   append_kv(out, "msgs_batched", r.msgs_batched);
   append_kv(out, "batch_flushes", r.batch_flushes);
   append_kv(out, "backpressure_stalls", r.backpressure_stalls);
+  append_kv(out, "trace_dropped", r.trace_dropped);
+  append_kv(out, "trace_events_omitted", r.trace_events_omitted);
   out += "\"faults_injected\":{";
   for (std::size_t i = 0; i < kNumFaultKinds; ++i) {
     if (i) out += ',';
@@ -482,7 +533,34 @@ std::string report_to_json(const TraceReport& r) {
     append_double(out, wl.second->max);
     out += "},";
   }
-  out += "\"deadlocks\":[";
+  out += "\"workers\":[";
+  for (std::size_t i = 0; i < r.workers.size(); ++i) {
+    const WorkerRow& w = r.workers[i];
+    if (i) out += ',';
+    out += '{';
+    append_kv(out, "worker", w.worker);
+    append_kv(out, "pe_begin", w.pe_begin);
+    append_kv(out, "pe_count", w.pe_count);
+    append_kv(out, "marks", w.marks);
+    append_kv(out, "returns", w.returns);
+    append_kv(out, "remote_messages", w.remote_messages);
+    append_kv(out, "retransmits", w.retransmits);
+    append_kv(out, "handoff_bytes", w.handoff_bytes);
+    append_kv(out, "relayed_frames", w.relayed_frames);
+    append_kv(out, "relayed_bytes", w.relayed_bytes);
+    append_kv(out, "telemetry_msgs", w.telemetry_msgs);
+    append_kv(out, "telemetry_dropped", w.telemetry_dropped);
+    out += "\"clock_offset_us\":";
+    {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%lld", (long long)w.clock_offset_us);
+      out += buf;
+    }
+    out += ',';
+    append_kv(out, "clock_rtt_us", w.clock_rtt_us, false);
+    out += '}';
+  }
+  out += "],\"deadlocks\":[";
   for (std::size_t i = 0; i < r.deadlocks.size(); ++i) {
     const DeadlockPostMortem& d = r.deadlocks[i];
     if (i) out += ',';
@@ -532,6 +610,12 @@ std::string report_to_text(const TraceReport& r) {
   if (r.audits)
     line(out, "audits %llu (%llu violations)", (unsigned long long)r.audits,
          (unsigned long long)r.audit_violations);
+  if (r.trace_dropped || r.trace_events_omitted)
+    line(out,
+         "TRACE LOSS: %llu ring overwrites, %llu over payload cap (counts "
+         "below undercount)",
+         (unsigned long long)r.trace_dropped,
+         (unsigned long long)r.trace_events_omitted);
 
   line(out, "");
   line(out, "== cycles ==");
@@ -690,6 +774,39 @@ std::string report_to_text(const TraceReport& r) {
          loc_edges ? 100.0 * static_cast<double>(loc_cut) /
                          static_cast<double>(loc_edges)
                    : 0.0);
+  }
+
+  if (!r.workers.empty()) {
+    line(out, "");
+    line(out, "== cluster ==");
+    line(out, "%6s %9s %9s %9s %8s %6s %10s %8s %10s %6s %9s %9s %9s",
+         "worker", "pes", "marks", "returns", "remote", "retx", "handoff-B",
+         "relay", "relay-B", "tele", "tele-drop", "clk-off", "clk-rtt");
+    for (const WorkerRow& w : r.workers) {
+      char pes[24];
+      std::snprintf(pes, sizeof(pes), "%u..%u", w.pe_begin,
+                    w.pe_begin + w.pe_count - (w.pe_count ? 1 : 0));
+      line(out,
+           "%6u %9s %9llu %9llu %8llu %6llu %10llu %8llu %10llu %6llu %9llu "
+           "%8lldus %7lluus",
+           w.worker, pes, (unsigned long long)w.marks,
+           (unsigned long long)w.returns,
+           (unsigned long long)w.remote_messages,
+           (unsigned long long)w.retransmits,
+           (unsigned long long)w.handoff_bytes,
+           (unsigned long long)w.relayed_frames,
+           (unsigned long long)w.relayed_bytes,
+           (unsigned long long)w.telemetry_msgs,
+           (unsigned long long)w.telemetry_dropped,
+           (long long)w.clock_offset_us, (unsigned long long)w.clock_rtt_us);
+    }
+    std::uint64_t tele_drop = 0;
+    for (const WorkerRow& w : r.workers) tele_drop += w.telemetry_dropped;
+    if (tele_drop)
+      line(out, "telemetry drops %llu (worker rings or payload cap)",
+           (unsigned long long)tele_drop);
+    else
+      line(out, "telemetry complete: no drops");
   }
 
   line(out, "");

@@ -125,6 +125,26 @@ struct DeadlockPostMortem {
   std::vector<std::pair<std::uint16_t, std::uint64_t>> vertices;  // (pe, idx)
 };
 
+// One worker process's row in the cluster rollup (proc-engine runs only;
+// filled by enrich_with_metrics_json when the dump carries a "workers"
+// array — the cluster form ProcEngine::cluster_metrics_json writes).
+struct WorkerRow {
+  std::uint32_t worker = 0;
+  std::uint32_t pe_begin = 0;
+  std::uint32_t pe_count = 0;
+  std::uint64_t marks = 0;
+  std::uint64_t returns = 0;
+  std::uint64_t remote_messages = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t handoff_bytes = 0;
+  std::uint64_t relayed_frames = 0;
+  std::uint64_t relayed_bytes = 0;
+  std::uint64_t telemetry_msgs = 0;
+  std::uint64_t telemetry_dropped = 0;
+  std::int64_t clock_offset_us = 0;  // worker minus controller; may be < 0
+  std::uint64_t clock_rtt_us = 0;    // RTT of the winning offset probe
+};
+
 struct TraceReport {
   std::uint64_t events = 0;
   std::uint32_t num_pes = 0;  // 1 + max pe observed (or metrics-provided)
@@ -148,6 +168,12 @@ struct TraceReport {
   std::uint64_t msgs_batched = 0;
   std::uint64_t batch_flushes = 0;
   std::uint64_t backpressure_stalls = 0;
+  // Telemetry-loss accounting (kTraceDrop events: ring overwrites upstream
+  // plus events past the per-payload cap; zero on a lossless trace).
+  std::uint64_t trace_dropped = 0;
+  std::uint64_t trace_events_omitted = 0;
+  // Cluster rollup (empty unless the metrics JSON carried worker rows).
+  std::vector<WorkerRow> workers;
 };
 
 // Build the report from events in emission order (as from_jsonl returns

@@ -105,18 +105,31 @@ std::vector<TraceEvent> from_jsonl(const std::string& text) {
 
 namespace {
 
-// Chrome trace_event helpers. pid is always 0; tid = PE, tid = num_pes is
-// the controller track.
-void chrome_meta(std::string& out, std::uint32_t tid, const char* name) {
-  out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+// Chrome trace_event helpers. pid 0 is the in-process engine (or the
+// cluster controller); pid w+1 is worker w. tid = PE, tid = num_pes is the
+// controller/engine track within each process lane.
+void chrome_process_meta(std::string& out, std::uint32_t pid,
+                         const char* name) {
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+  append_u64(out, pid);
+  out += ",\"args\":{\"name\":\"";
+  out += name;
+  out += "\"}},\n";
+}
+
+void chrome_meta(std::string& out, std::uint32_t pid, std::uint32_t tid,
+                 const char* name) {
+  out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":";
+  append_u64(out, pid);
+  out += ",\"tid\":";
   append_u64(out, tid);
   out += ",\"args\":{\"name\":\"";
   out += name;
   out += "\"}},\n";
 }
 
-void chrome_span(std::string& out, const std::string& name, std::uint64_t ts,
-                 std::uint64_t dur, std::uint32_t tid,
+void chrome_span(std::string& out, std::uint32_t pid, const std::string& name,
+                 std::uint64_t ts, std::uint64_t dur, std::uint32_t tid,
                  const std::string& args_json) {
   out += "{\"name\":\"";
   out += name;
@@ -124,34 +137,41 @@ void chrome_span(std::string& out, const std::string& name, std::uint64_t ts,
   append_u64(out, ts);
   out += ",\"dur\":";
   append_u64(out, dur ? dur : 1);
-  out += ",\"pid\":0,\"tid\":";
+  out += ",\"pid\":";
+  append_u64(out, pid);
+  out += ",\"tid\":";
   append_u64(out, tid);
   out += ",\"args\":";
   out += args_json;
   out += "},\n";
 }
 
-void chrome_instant(std::string& out, const std::string& name,
-                    std::uint64_t ts, std::uint32_t tid,
-                    const std::string& args_json) {
+void chrome_instant(std::string& out, std::uint32_t pid,
+                    const std::string& name, std::uint64_t ts,
+                    std::uint32_t tid, const std::string& args_json) {
   out += "{\"name\":\"";
   out += name;
   out += "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
   append_u64(out, ts);
-  out += ",\"pid\":0,\"tid\":";
+  out += ",\"pid\":";
+  append_u64(out, pid);
+  out += ",\"tid\":";
   append_u64(out, tid);
   out += ",\"args\":";
   out += args_json;
   out += "},\n";
 }
 
-void chrome_counter(std::string& out, const std::string& name,
-                    std::uint64_t ts, std::uint64_t value) {
+void chrome_counter(std::string& out, std::uint32_t pid,
+                    const std::string& name, std::uint64_t ts,
+                    std::uint64_t value) {
   out += "{\"name\":\"";
   out += name;
   out += "\",\"ph\":\"C\",\"ts\":";
   append_u64(out, ts);
-  out += ",\"pid\":0,\"args\":{\"marks\":";
+  out += ",\"pid\":";
+  append_u64(out, pid);
+  out += ",\"args\":{\"marks\":";
   append_u64(out, value);
   out += "}},\n";
 }
@@ -165,20 +185,11 @@ std::string one_arg(const char* key, std::uint64_t v) {
   return s;
 }
 
-}  // namespace
-
-std::string to_chrome_trace(const std::vector<TraceEvent>& events,
-                            std::uint32_t num_pes) {
+// One process lane's events: pair begin/end events into spans, render the
+// rest as instants/counters, close anything a truncated trace left open.
+void chrome_emit_events(std::string& out, const std::vector<TraceEvent>& events,
+                        std::uint32_t num_pes, std::uint32_t pid) {
   const std::uint32_t ctl = num_pes;  // controller track id
-  std::string out = "{\"traceEvents\":[\n";
-  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":"
-         "{\"name\":\"dgr\"}},\n";
-  for (std::uint32_t pe = 0; pe < num_pes; ++pe) {
-    char name[16];
-    std::snprintf(name, sizeof(name), "PE %u", pe);
-    chrome_meta(out, pe, name);
-  }
-  chrome_meta(out, ctl, "controller");
 
   // Pair begin/end events into spans; everything else becomes instants.
   std::uint64_t cycle_ts = 0, cycle_no = 0, last_ts = 0;
@@ -204,7 +215,7 @@ std::string to_chrome_trace(const std::vector<TraceEvent>& events,
         args += ",\"expunged\":";
         append_u64(args, e.b);
         args += "}";
-        chrome_span(out, name, cycle_open ? cycle_ts : e.ts,
+        chrome_span(out, pid, name, cycle_open ? cycle_ts : e.ts,
                     cycle_open ? e.ts - cycle_ts : 0, ctl, args);
         cycle_open = false;
         break;
@@ -221,7 +232,7 @@ std::string to_chrome_trace(const std::vector<TraceEvent>& events,
         args += ",\"returns\":";
         append_u64(args, e.b);
         args += "}";
-        chrome_span(out, name, phase_open[pl] ? phase_ts[pl] : e.ts,
+        chrome_span(out, pid, name, phase_open[pl] ? phase_ts[pl] : e.ts,
                     phase_open[pl] ? e.ts - phase_ts[pl] : 0, ctl, args);
         phase_open[pl] = false;
         break;
@@ -230,48 +241,48 @@ std::string to_chrome_trace(const std::vector<TraceEvent>& events,
         char cname[32];
         std::snprintf(cname, sizeof(cname), "marks[%s] PE %u",
                       plane_name(e.plane), e.pe);
-        chrome_counter(out, cname, e.ts, e.a);
+        chrome_counter(out, pid, cname, e.ts, e.a);
         break;
       }
       case EventType::kRescueWave:
-        chrome_instant(out, std::string("rescue_wave ") + plane_name(e.plane),
+        chrome_instant(out, pid, std::string("rescue_wave ") + plane_name(e.plane),
                        e.ts, ctl, one_arg("seeds", e.a));
         break;
       case EventType::kRescueQueued:
-        chrome_instant(out,
+        chrome_instant(out, pid,
                        std::string("rescue_queued ") + plane_name(e.plane),
                        e.ts, e.pe, one_arg("vertex", e.a));
         break;
       case EventType::kCoopTaint:
-        chrome_instant(out, std::string("coop_taint ") + plane_name(e.plane),
+        chrome_instant(out, pid, std::string("coop_taint ") + plane_name(e.plane),
                        e.ts, e.pe, "{}");
         break;
       case EventType::kSweep:
-        chrome_instant(out, "sweep", e.ts, ctl, one_arg("freed", e.a));
+        chrome_instant(out, pid, "sweep", e.ts, ctl, one_arg("freed", e.a));
         break;
       case EventType::kExpunge:
-        chrome_instant(out, "expunge", e.ts, ctl, one_arg("tasks", e.a));
+        chrome_instant(out, pid, "expunge", e.ts, ctl, one_arg("tasks", e.a));
         break;
       case EventType::kReprioritize:
-        chrome_instant(out, "reprioritize", e.ts, ctl, one_arg("tasks", e.a));
+        chrome_instant(out, pid, "reprioritize", e.ts, ctl, one_arg("tasks", e.a));
         break;
       case EventType::kDeadlockReport:
-        chrome_instant(out, "deadlock_report", e.ts, ctl,
+        chrome_instant(out, pid, "deadlock_report", e.ts, ctl,
                        one_arg("deadlocked", e.a));
         break;
       case EventType::kDeadlockVertex: {
         char name[48];
         std::snprintf(name, sizeof(name), "deadlocked %u:%llu", e.pe,
                       (unsigned long long)e.a);
-        chrome_instant(out, name, e.ts, e.pe, one_arg("idx", e.a));
+        chrome_instant(out, pid, name, e.ts, e.pe, one_arg("idx", e.a));
         break;
       }
       case EventType::kAudit:
-        chrome_instant(out, "audit", e.ts, ctl, one_arg("violations", e.a));
+        chrome_instant(out, pid, "audit", e.ts, ctl, one_arg("violations", e.a));
         break;
       case EventType::kHealthWarning:
         chrome_instant(
-            out,
+            out, pid,
             std::string("health: ") +
                 health_kind_name(static_cast<HealthKind>(
                     e.a < kNumHealthKinds ? e.a : kNumHealthKinds)),
@@ -279,17 +290,17 @@ std::string to_chrome_trace(const std::vector<TraceEvent>& events,
         break;
       case EventType::kFaultInjected:
         chrome_instant(
-            out,
+            out, pid,
             std::string("fault: ") +
                 fault_kind_name(static_cast<FaultKind>(
                     e.a < kNumFaultKinds ? e.a : kNumFaultKinds)),
             e.ts, e.pe, one_arg("bytes", e.b));
         break;
       case EventType::kMsgRetransmit:
-        chrome_instant(out, "retransmit", e.ts, e.pe, one_arg("seq", e.a));
+        chrome_instant(out, pid, "retransmit", e.ts, e.pe, one_arg("seq", e.a));
         break;
       case EventType::kMsgDupSuppressed:
-        chrome_instant(out, "dup_suppressed", e.ts, e.pe,
+        chrome_instant(out, pid, "dup_suppressed", e.ts, e.pe,
                        one_arg("seq", e.a));
         break;
       case EventType::kBatchFlush: {
@@ -298,7 +309,7 @@ std::string to_chrome_trace(const std::vector<TraceEvent>& events,
         args += ",\"bytes\":";
         append_u64(args, e.b);
         args += "}";
-        chrome_instant(out, "batch_flush", e.ts, e.pe, args);
+        chrome_instant(out, pid, "batch_flush", e.ts, e.pe, args);
         break;
       }
       case EventType::kBackpressureStall: {
@@ -307,7 +318,16 @@ std::string to_chrome_trace(const std::vector<TraceEvent>& events,
         args += ",\"backlog\":";
         append_u64(args, e.b);
         args += "}";
-        chrome_instant(out, "backpressure_stall", e.ts, e.pe, args);
+        chrome_instant(out, pid, "backpressure_stall", e.ts, e.pe, args);
+        break;
+      }
+      case EventType::kTraceDrop: {
+        std::string args = "{\"ring_dropped\":";
+        append_u64(args, e.a);
+        args += ",\"omitted\":";
+        append_u64(args, e.b);
+        args += "}";
+        chrome_instant(out, pid, "trace_drop", e.ts, e.pe, args);
         break;
       }
       case EventType::kCount_:
@@ -317,21 +337,75 @@ std::string to_chrome_trace(const std::vector<TraceEvent>& events,
   // Close any span left open by a truncated trace.
   for (int pl = 0; pl < 2; ++pl) {
     if (!phase_open[pl]) continue;
-    chrome_span(out, pl == 0 ? "M_R (unfinished)" : "M_T (unfinished)",
+    chrome_span(out, pid, pl == 0 ? "M_R (unfinished)" : "M_T (unfinished)",
                 phase_ts[pl], last_ts - phase_ts[pl], ctl, "{}");
   }
   if (cycle_open) {
     char name[48];
     std::snprintf(name, sizeof(name), "cycle %llu (unfinished)",
                   (unsigned long long)cycle_no);
-    chrome_span(out, name, cycle_ts, last_ts - cycle_ts, ctl, "{}");
+    chrome_span(out, pid, name, cycle_ts, last_ts - cycle_ts, ctl, "{}");
   }
+}
 
+// PE + controller thread metas for one process lane. When `only_used` is set
+// only tids that actually appear in `events` get a name (worker lanes own a
+// PE slice; naming every PE in every lane would clutter the timeline).
+void chrome_thread_metas(std::string& out, const std::vector<TraceEvent>& events,
+                         std::uint32_t num_pes, std::uint32_t pid,
+                         bool only_used) {
+  std::vector<bool> used(num_pes, !only_used);
+  if (only_used) {
+    for (const TraceEvent& e : events)
+      if (e.pe < num_pes) used[e.pe] = true;
+  }
+  for (std::uint32_t pe = 0; pe < num_pes; ++pe) {
+    if (!used[pe]) continue;
+    char name[16];
+    std::snprintf(name, sizeof(name), "PE %u", pe);
+    chrome_meta(out, pid, pe, name);
+  }
+  chrome_meta(out, pid, num_pes, "controller");
+}
+
+void chrome_close(std::string& out) {
   // Strip the trailing ",\n" so the array is valid JSON.
   if (out.size() >= 2 && out[out.size() - 2] == ',') {
     out.erase(out.size() - 2, 1);
   }
   out += "]}\n";
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<TraceEvent>& events,
+                            std::uint32_t num_pes) {
+  std::string out = "{\"traceEvents\":[\n";
+  chrome_process_meta(out, 0, "dgr");
+  chrome_thread_metas(out, events, num_pes, 0, /*only_used=*/false);
+  chrome_emit_events(out, events, num_pes, 0);
+  chrome_close(out);
+  return out;
+}
+
+std::string to_chrome_trace_cluster(
+    const std::vector<TraceEvent>& controller_events,
+    const std::vector<std::vector<TraceEvent>>& worker_events,
+    std::uint32_t num_pes) {
+  std::string out = "{\"traceEvents\":[\n";
+  chrome_process_meta(out, 0, "controller");
+  chrome_thread_metas(out, controller_events, num_pes, 0, /*only_used=*/false);
+  chrome_emit_events(out, controller_events, num_pes, 0);
+  for (std::uint32_t w = 0; w < worker_events.size(); ++w) {
+    const std::uint32_t pid = w + 1;
+    char name[24];
+    std::snprintf(name, sizeof(name), "worker %u", w);
+    chrome_process_meta(out, pid, name);
+    chrome_thread_metas(out, worker_events[w], num_pes, pid,
+                        /*only_used=*/true);
+    chrome_emit_events(out, worker_events[w], num_pes, pid);
+  }
+  chrome_close(out);
   return out;
 }
 

@@ -35,4 +35,14 @@ std::vector<TraceEvent> from_jsonl(const std::string& text);
 std::string to_chrome_trace(const std::vector<TraceEvent>& events,
                             std::uint32_t num_pes);
 
+// Cluster form of the same: pid 0 is the controller process, pid w+1 is
+// worker w (so a 4-worker run opens as one timeline with five process
+// lanes in chrome://tracing). Worker event timestamps must already be
+// rebased onto the controller clock (net/clock_sync.h); within each worker
+// lane only the PEs that emitted events get named tracks.
+std::string to_chrome_trace_cluster(
+    const std::vector<TraceEvent>& controller_events,
+    const std::vector<std::vector<TraceEvent>>& worker_events,
+    std::uint32_t num_pes);
+
 }  // namespace dgr::obs

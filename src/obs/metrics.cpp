@@ -50,6 +50,11 @@ const char* counter_name(Counter c) {
     case Counter::kStealTasks: return "steal_tasks";
     case Counter::kEdgeCut: return "edge_cut";
     case Counter::kEdgesTotal: return "edges_total";
+    case Counter::kHandoffBytes: return "handoff_bytes";
+    case Counter::kRelayedFrames: return "relayed_frames";
+    case Counter::kRelayedBytes: return "relayed_bytes";
+    case Counter::kTelemetryMsgs: return "telemetry_msgs";
+    case Counter::kTelemetryDropped: return "telemetry_dropped";
     case Counter::kCount_: break;
   }
   return "?";
@@ -81,6 +86,15 @@ void MetricsRegistry::observe(std::uint32_t pe, Hist h, double v) noexcept {
   Slot& s = slots_[pe];
   hist_lock_acquire(s);
   s.h[static_cast<std::size_t>(h)].add(v);
+  s.hist_lock.clear(std::memory_order_release);
+}
+
+void MetricsRegistry::merge_hist_bucket(std::uint32_t pe, Hist h,
+                                        std::uint32_t bucket, std::uint64_t n,
+                                        double max_hint) noexcept {
+  Slot& s = slots_[pe];
+  hist_lock_acquire(s);
+  s.h[static_cast<std::size_t>(h)].add_bucket(bucket, n, max_hint);
   s.hist_lock.clear(std::memory_order_release);
 }
 
@@ -171,6 +185,64 @@ std::string MetricsRegistry::to_json() const {
     out += "}}";
   }
   out += "]}";
+  return out;
+}
+
+std::string health_line(const HealthSnapshot& s) {
+  const double ms_per_cycle =
+      s.cycles_window ? s.window_ms / static_cast<double>(s.cycles_window)
+                      : s.window_ms;
+  const double marks_per_s =
+      s.window_ms > 0.0
+          ? static_cast<double>(s.marks) * 1000.0 / s.window_ms
+          : 0.0;
+  const std::uint64_t msgs = s.remote_msgs + s.local_msgs;
+  const double remote_pct =
+      msgs ? 100.0 * static_cast<double>(s.remote_msgs) /
+                 static_cast<double>(msgs)
+           : 0.0;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "cycle %llu | %.2f ms/cycle | %.3g marks/s | remote %.1f%% | "
+                "retx %llu",
+                (unsigned long long)s.cycle, ms_per_cycle, marks_per_s,
+                remote_pct, (unsigned long long)s.retransmits);
+  std::string out = buf;
+  if (s.workers_total) {
+    std::snprintf(buf, sizeof(buf), " | workers %u/%u", s.workers_live,
+                  s.workers_total);
+    out += buf;
+  }
+  if (s.telemetry_dropped) {
+    std::snprintf(buf, sizeof(buf), " | tele-drop %llu",
+                  (unsigned long long)s.telemetry_dropped);
+    out += buf;
+  }
+  return out;
+}
+
+std::string health_jsonl(const HealthSnapshot& s) {
+  std::string out = "{\"cycle\":";
+  append_u64(out, s.cycle);
+  out += ",\"cycles_window\":";
+  append_u64(out, s.cycles_window);
+  out += ",\"window_ms\":";
+  append_double(out, s.window_ms);
+  out += ",\"marks\":";
+  append_u64(out, s.marks);
+  out += ",\"remote_msgs\":";
+  append_u64(out, s.remote_msgs);
+  out += ",\"local_msgs\":";
+  append_u64(out, s.local_msgs);
+  out += ",\"retransmits\":";
+  append_u64(out, s.retransmits);
+  out += ",\"telemetry_dropped\":";
+  append_u64(out, s.telemetry_dropped);
+  out += ",\"workers_live\":";
+  append_u64(out, s.workers_live);
+  out += ",\"workers_total\":";
+  append_u64(out, s.workers_total);
+  out += '}';
   return out;
 }
 

@@ -48,6 +48,14 @@ enum class Counter : std::uint8_t {
   kStealTasks,         // tasks executed by a PE other than their owner
   kEdgeCut,            // arg edges whose endpoints live on different PEs
   kEdgesTotal,         // all arg edges (denominator for the cut fraction)
+  // Cluster plane (PR 8). Handoff/relay bytes are charged to the receiving
+  // worker's first owned PE; telemetry accounting to the reporting worker's
+  // first owned PE.
+  kHandoffBytes,       // partition-snapshot bytes shipped at plane begin
+  kRelayedFrames,      // worker→worker data frames relayed through the hub
+  kRelayedBytes,       // payload bytes of those relayed frames
+  kTelemetryMsgs,      // kTelemetry payloads merged by the controller
+  kTelemetryDropped,   // trace events lost before merge (ring + payload cap)
   kCount_,
 };
 inline constexpr std::size_t kNumCounters =
@@ -91,6 +99,10 @@ class MetricsRegistry {
   // Histogram observation; per-slot spinlock (uncontended in both engines:
   // each PE observes only its own slot).
   void observe(std::uint32_t pe, Hist h, double v) noexcept;
+  // Fold a raw log-bucket delta into a slot's histogram — the receive side
+  // of the cluster telemetry plane (net/proto.h TelemetryMsg::HistDelta).
+  void merge_hist_bucket(std::uint32_t pe, Hist h, std::uint32_t bucket,
+                         std::uint64_t n, double max_hint) noexcept;
   // Consistent copy of one histogram (merges nothing; single slot).
   Histogram hist(std::uint32_t pe, Hist h) const;
   // All PEs' histograms for `h` merged.
@@ -110,5 +122,30 @@ class MetricsRegistry {
   };
   std::vector<Slot> slots_;
 };
+
+// ---- Live health rollup (dgr_run --stats N) ----
+//
+// A HealthSnapshot is one sampling window's worth of registry deltas plus
+// engine-side facts the registry doesn't know (cycle count, worker liveness).
+// The emitters are pure formatting functions so both engines — and the unit
+// tests — share one rendering of the rollup.
+struct HealthSnapshot {
+  std::uint64_t cycle = 0;          // cycles completed so far
+  std::uint64_t cycles_window = 0;  // cycles in this window
+  double window_ms = 0.0;           // wall-clock of the window
+  std::uint64_t marks = 0;          // mark+return tasks this window
+  std::uint64_t remote_msgs = 0;    // remote messages this window
+  std::uint64_t local_msgs = 0;     // local messages this window
+  std::uint64_t retransmits = 0;    // channel retransmits this window
+  std::uint64_t telemetry_dropped = 0;  // cumulative (cluster runs)
+  std::uint32_t workers_live = 0;   // connected workers (0 = in-process run)
+  std::uint32_t workers_total = 0;
+};
+
+// One-line human form:
+//   cycle 40 | 12.3 ms/cycle | 81k marks/s | remote 34.2% | retx 3 | workers 4/4
+std::string health_line(const HealthSnapshot& s);
+// One-object machine form (JSONL row).
+std::string health_jsonl(const HealthSnapshot& s);
 
 }  // namespace dgr::obs

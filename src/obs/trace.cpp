@@ -24,6 +24,7 @@ const char* event_name(EventType t) {
     case EventType::kMsgDupSuppressed: return "dup_suppressed";
     case EventType::kBatchFlush: return "batch_flush";
     case EventType::kBackpressureStall: return "backpressure_stall";
+    case EventType::kTraceDrop: return "trace_drop";
     case EventType::kCount_: break;
   }
   return "?";

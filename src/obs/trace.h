@@ -61,6 +61,7 @@ enum class EventType : std::uint8_t {
   kMsgDupSuppressed, // channel: duplicate discarded        pe = receiver, a = seq
   kBatchFlush,       // message plane: batch flushed        pe = sender, a = #messages, b = bytes
   kBackpressureStall,// engine: spawn stalled on backlog    pe = sender, a = dst, b = backlog
+  kTraceDrop,        // telemetry: events lost upstream     a = ring drops, b = payload-cap drops
   kCount_,
 };
 inline constexpr std::size_t kNumEventTypes =
@@ -102,6 +103,24 @@ struct TraceEvent {
 
   bool operator==(const TraceEvent&) const = default;
 };
+
+// A synthetic event recording that `ring_dropped` events were overwritten in
+// the source ring and `omitted` more fell past the telemetry payload cap
+// before this point in the stream. Emitted by the cluster merger (and usable
+// by any exporter) so drop accounting rides the normal event path — inline
+// because it's pure struct assembly, safe under -DDGR_TRACE=OFF.
+inline TraceEvent make_drop_event(std::uint64_t ts, std::uint64_t cycle,
+                                  std::uint16_t pe, std::uint64_t ring_dropped,
+                                  std::uint64_t omitted) {
+  TraceEvent e;
+  e.ts = ts;
+  e.cycle = cycle;
+  e.a = ring_dropped;
+  e.b = omitted;
+  e.type = EventType::kTraceDrop;
+  e.pe = pe;
+  return e;
+}
 
 class TraceBuffer {
  public:

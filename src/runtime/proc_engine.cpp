@@ -5,6 +5,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 
@@ -26,7 +27,11 @@ ProcEngine::ProcEngine(Graph& g, ProcOptions opt)
       opt_(std::move(opt)),
       num_workers_(std::min(opt_.workers == 0 ? 1u : opt_.workers,
                             g.num_pes())),
+      metrics_(g.num_pes()),
       t0_(std::chrono::steady_clock::now()) {
+  clock_.resize(num_workers_);
+  tele_.resize(num_workers_);
+  worker_events_.resize(num_workers_);
   marker_ = std::make_unique<Marker>(g_, *this);
   mutator_ = std::make_unique<Mutator>(g_, *marker_);
   controller_ =
@@ -74,6 +79,8 @@ WorkerConfig ProcEngine::make_config(std::uint32_t worker) const {
   c.fault_seed = opt_.fault_seed + worker;  // distinct chaos per worker
   c.faults = opt_.faults;
   c.reliable = opt_.reliable;
+  c.trace_enabled = worker_trace_;
+  c.trace_capacity = trace_capacity_;
   return c;
 }
 
@@ -125,6 +132,21 @@ void ProcEngine::start() {
   for (std::uint32_t w = 0; w < num_workers_; ++w) spawn_worker(w);
   DGR_CHECK_MSG(hub_.wait_workers(num_workers_, opt_.register_timeout_ms),
                 "workers did not register in time");
+
+  // First clock probes right after registration, while the wire is quiet —
+  // usually the tightest (min-RTT) sample of the whole run. Refreshed at
+  // every plane begin.
+  for (std::uint32_t w = 0; w < num_workers_; ++w) send_clock_probe(w);
+}
+
+void ProcEngine::send_clock_probe(std::uint32_t worker) {
+  ClockProbeMsg p;
+  p.seq = ++clock_seq_;
+  p.t_controller_us = now_us();
+  NetFrame f;
+  f.type = FrameType::kClockProbe;
+  f.payload = encode_clock_probe(p);
+  hub_.send_to_worker(worker, f);
 }
 
 void ProcEngine::spawn_worker(std::uint32_t worker) {
@@ -202,7 +224,10 @@ void ProcEngine::on_plane_begin(Plane p) {
     f.payload = encode_handoff(g_, slots_[w].pe_begin, slots_[w].pe_count);
     stats_.handoff_bytes += f.payload.size();
     ++stats_.handoffs_sent;
+    metrics_.add(slots_[w].pe_begin, obs::Counter::kHandoffBytes,
+                 f.payload.size());
     hub_.send_to_worker(w, f);
+    send_clock_probe(w);
   }
   begin_pending_ = true;
   begin_plane_ = p;
@@ -283,6 +308,57 @@ void ProcEngine::handle_control(std::uint32_t worker, NetFrame f) {
       collecting_ = false;
       marker_->add_remote_stats(collect_plane_, collect_stats_);
       marker_->finish_remote(collect_plane_);
+      return;
+    }
+    case FrameType::kTelemetry: {
+      TelemetryMsg m;
+      if (!decode_telemetry(f.payload, m)) {
+        DGR_ERROR("worker %u: malformed kTelemetry", worker);
+        failed_.store(true, std::memory_order_release);
+        return;
+      }
+      // Fold the worker's registry delta into the merged per-PE view. The
+      // codec validated counter/hist/event-type ids; PE range is validated
+      // here against the authoritative graph.
+      for (const auto& c : m.counters)
+        if (c.pe < g_.num_pes())
+          metrics_.add(c.pe, static_cast<obs::Counter>(c.counter), c.delta);
+      for (const auto& h : m.hists) {
+        if (h.pe >= g_.num_pes()) continue;
+        for (const auto& [bucket, n] : h.buckets)
+          metrics_.merge_hist_bucket(h.pe, static_cast<obs::Hist>(h.hist),
+                                     bucket, n, h.max);
+      }
+      WorkerTele& t = tele_[worker];
+      ++t.telemetry_msgs;
+      t.ring_dropped += m.ring_dropped;
+      t.events_omitted += m.events_omitted;
+      metrics_.add(slots_[worker].pe_begin, obs::Counter::kTelemetryMsgs);
+      const std::uint64_t lost = m.ring_dropped + m.events_omitted;
+      if (lost)
+        metrics_.add(slots_[worker].pe_begin, obs::Counter::kTelemetryDropped,
+                     lost);
+      auto& ev = worker_events_[worker];
+      ev.insert(ev.end(), m.events.begin(), m.events.end());
+      if (lost) {
+        // Make the loss visible inside the trace itself, stamped at the
+        // lane's current tail so the lane stays monotone after rebase.
+        const std::uint64_t ts = ev.empty() ? 0 : ev.back().ts;
+        ev.push_back(obs::make_drop_event(
+            ts, 0, static_cast<std::uint16_t>(m.pe_begin), m.ring_dropped,
+            m.events_omitted));
+      }
+      return;
+    }
+    case FrameType::kClockEcho: {
+      ClockEchoMsg echo;
+      if (!decode_clock_echo(f.payload, echo)) {
+        DGR_ERROR("worker %u: malformed kClockEcho", worker);
+        failed_.store(true, std::memory_order_release);
+        return;
+      }
+      clock_[worker].on_echo(echo.t_controller_us, now_us(),
+                             echo.t_worker_us);
       return;
     }
     default:
@@ -376,13 +452,91 @@ void ProcEngine::on_cycle_complete(const CycleResult& res) {
 }
 
 obs::TraceBuffer* ProcEngine::enable_trace(std::size_t capacity) {
+#if DGR_TRACE_ENABLED
   if (!trace_) {
     trace_ = std::make_unique<obs::TraceBuffer>(capacity);
+    trace_->set_clock([this] { return now_us(); });
     marker_->set_trace(trace_.get());
     mutator_->set_trace(trace_.get());
     controller_->set_trace(trace_.get());
+    worker_trace_ = true;
+    trace_capacity_ = static_cast<std::uint32_t>(capacity);
   }
   return trace_.get();
+#else
+  (void)capacity;
+  return nullptr;
+#endif
+}
+
+std::vector<std::vector<obs::TraceEvent>> ProcEngine::worker_traces() const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  std::vector<std::vector<obs::TraceEvent>> out = worker_events_;
+  for (std::uint32_t w = 0; w < num_workers_; ++w)
+    for (obs::TraceEvent& e : out[w]) e.ts = clock_[w].rebase(e.ts);
+  return out;
+}
+
+std::int64_t ProcEngine::clock_offset_us(std::uint32_t worker) const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  return worker < clock_.size() ? clock_[worker].offset_us() : 0;
+}
+
+std::uint64_t ProcEngine::clock_rtt_us(std::uint32_t worker) const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  return worker < clock_.size() ? clock_[worker].rtt_us() : 0;
+}
+
+std::uint64_t ProcEngine::clock_samples(std::uint32_t worker) const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  return worker < clock_.size() ? clock_[worker].samples() : 0;
+}
+
+std::string ProcEngine::cluster_metrics_json() const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  const std::vector<SocketHub::RelayCount> relay = hub_.relay_by_worker();
+  // Per-worker sums over the owned PE range of the merged registry.
+  auto range_sum = [&](std::uint32_t w, obs::Counter c) {
+    std::uint64_t n = 0;
+    for (std::uint32_t pe = slots_[w].pe_begin;
+         pe < slots_[w].pe_begin + slots_[w].pe_count; ++pe)
+      n += metrics_.get(pe, c);
+    return n;
+  };
+  std::string out = metrics_.to_json();
+  out.pop_back();  // reopen the registry object to append the rollup
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), ",\"num_workers\":%u,\"workers\":[",
+                num_workers_);
+  out += buf;
+  for (std::uint32_t w = 0; w < num_workers_; ++w) {
+    const std::uint64_t rf = w < relay.size() ? relay[w].frames : 0;
+    const std::uint64_t rb = w < relay.size() ? relay[w].bytes : 0;
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"worker\":%u,\"pe_begin\":%u,\"pe_count\":%u,"
+        "\"marks\":%llu,\"returns\":%llu,\"remote_messages\":%llu,"
+        "\"retransmits\":%llu,\"handoff_bytes\":%llu,"
+        "\"relayed_frames\":%llu,\"relayed_bytes\":%llu,"
+        "\"telemetry_msgs\":%llu,\"telemetry_dropped\":%llu,"
+        "\"clock_offset_us\":%lld,\"clock_rtt_us\":%llu}",
+        w == 0 ? "" : ",", w, slots_[w].pe_begin, slots_[w].pe_count,
+        (unsigned long long)range_sum(w, obs::Counter::kMarkTasks),
+        (unsigned long long)range_sum(w, obs::Counter::kReturnTasks),
+        (unsigned long long)range_sum(w, obs::Counter::kRemoteMessages),
+        (unsigned long long)range_sum(w, obs::Counter::kMsgRetransmit),
+        (unsigned long long)metrics_.get(slots_[w].pe_begin,
+                                         obs::Counter::kHandoffBytes),
+        (unsigned long long)rf, (unsigned long long)rb,
+        (unsigned long long)tele_[w].telemetry_msgs,
+        (unsigned long long)(tele_[w].ring_dropped +
+                             tele_[w].events_omitted),
+        (long long)clock_[w].offset_us(),
+        (unsigned long long)clock_[w].rtt_us());
+    out += buf;
+  }
+  out += "]}";
+  return out;
 }
 
 ProcEngineStats ProcEngine::stats() const {

@@ -34,8 +34,11 @@
 #include "core/controller.h"
 #include "core/cooperation.h"
 #include "core/marker.h"
+#include "net/clock_sync.h"
 #include "net/proto.h"
 #include "net/socket_hub.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/pool.h"
 #include "runtime/thread_engine.h"  // AuditOptions / AuditStats
 
@@ -121,8 +124,32 @@ class ProcEngine final : public TaskSink, public EngineHooks {
   void enable_audit(AuditOptions opt = {});
   const AuditStats& audit_stats() const { return audit_stats_; }
 
+  // Controller-side trace ring. Call BEFORE start(): the same call arms
+  // worker-side capture (each worker's kRegisterAck config carries
+  // trace_enabled + capacity, and its ring ships back at every quiesce).
+  // Returns nullptr under -DDGR_TRACE=OFF (workers then ship counters only).
   obs::TraceBuffer* enable_trace(std::size_t capacity = 1 << 14);
   obs::TraceBuffer* trace() { return trace_.get(); }
+
+  // ---- Cluster telemetry plane (docs/OBSERVABILITY.md) ----
+  // Merged metrics registry: every worker's counter/histogram deltas folded
+  // into per-PE slots, plus controller-side handoff/telemetry accounting.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  // MetricsRegistry::to_json() extended with a "workers":[...] rollup —
+  // per-worker marks, remote traffic, retransmits, handoff/relay bytes,
+  // telemetry accounting and the clock-offset estimate. dgr_analyze's
+  // cluster section consumes exactly this shape.
+  std::string cluster_metrics_json() const;
+  // Each worker's shipped trace events with timestamps rebased onto the
+  // controller clock (net/clock_sync.h). Pair with trace()->snapshot() and
+  // obs::to_chrome_trace_cluster for the single merged timeline.
+  std::vector<std::vector<obs::TraceEvent>> worker_traces() const;
+  // The worker-minus-controller clock offset estimate (µs) and the RTT of
+  // the probe it came from; offset 0 until at least one echo arrived.
+  std::int64_t clock_offset_us(std::uint32_t worker) const;
+  std::uint64_t clock_rtt_us(std::uint32_t worker) const;
+  // Echo exchanges folded into the estimate so far (0 = no echo yet).
+  std::uint64_t clock_samples(std::uint32_t worker) const;
 
   ProcEngineStats stats() const;
   std::uint32_t num_workers() const { return num_workers_; }
@@ -139,6 +166,10 @@ class ProcEngine final : public TaskSink, public EngineHooks {
   WorkerConfig make_config(std::uint32_t worker) const;
   void spawn_worker(std::uint32_t worker);
   void handle_control(std::uint32_t worker, NetFrame f);
+  // One Cristian probe (kClockProbe); the echo feeds clock_[worker]. Sent to
+  // every worker after registration and again at each plane begin, so the
+  // estimate tightens as the run warms up (min-RTT sample wins).
+  void send_clock_probe(std::uint32_t worker);
   void maybe_audit();
   std::uint64_t now_us() const {
     return static_cast<std::uint64_t>(
@@ -189,6 +220,27 @@ class ProcEngine final : public TaskSink, public EngineHooks {
   std::size_t audit_expected_gar_ = 0;
 
   std::unique_ptr<obs::TraceBuffer> trace_;
+  // Worker-side capture request recorded by enable_trace, read by
+  // make_config when registration acks go out.
+  bool worker_trace_ = false;
+  std::uint32_t trace_capacity_ = 1u << 14;
+
+  // ---- Cluster telemetry plane ----
+  // Merged per-PE registry: worker deltas fold in at quiesce; the controller
+  // charges its own handoff/telemetry accounting to each worker's first
+  // owned PE. Always on (counters are cheap); traces stay opt-in.
+  obs::MetricsRegistry metrics_;
+  std::vector<ClockSync> clock_;  // per-worker offset estimators
+  std::uint32_t clock_seq_ = 0;
+  struct WorkerTele {
+    std::uint64_t telemetry_msgs = 0;
+    std::uint64_t ring_dropped = 0;
+    std::uint64_t events_omitted = 0;
+  };
+  std::vector<WorkerTele> tele_;
+  // Shipped worker events, still on each worker's own clock; rebased copies
+  // come out of worker_traces().
+  std::vector<std::vector<obs::TraceEvent>> worker_events_;
   std::chrono::steady_clock::time_point t0_;
 };
 

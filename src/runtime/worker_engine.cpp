@@ -21,7 +21,18 @@ WorkerEngine::WorkerEngine(Socket sock, FrameCodec codec,
       cfg_(cfg),
       g_(cfg.num_pes, 1),
       marker_(g_, *this),
-      t0_(std::chrono::steady_clock::now()) {
+      t0_(std::chrono::steady_clock::now()),
+      reg_(cfg.num_pes) {
+  prev_counters_.resize(cfg_.pe_count);
+  for (auto& row : prev_counters_) row.fill(0);
+  prev_hists_.resize(static_cast<std::size_t>(cfg_.pe_count) * obs::kNumHists);
+#if DGR_TRACE_ENABLED
+  if (cfg_.trace_enabled) {
+    trace_ = std::make_unique<obs::TraceBuffer>(cfg_.trace_capacity);
+    trace_->set_clock([this] { return now_us(); });
+    marker_.set_trace(trace_.get());
+  }
+#endif
   // Termination detection runs here when this worker owns the collapsing
   // root: the rootpar return raises done, and the controller learns of it
   // through a kPlaneDone frame (never through a local callback chain).
@@ -41,6 +52,19 @@ WorkerEngine::WorkerEngine(Socket sock, FrameCodec codec,
         [this](PeId src, PeId dst, FaultPlane::Bytes msg) {
           send_data(src, dst, std::move(msg));
         });
+    fault_->set_inject_hook(
+        [this](FaultKind k, PeId src, PeId, std::size_t bytes) {
+          static constexpr obs::Counter kFaultCounter[kNumFaultKinds] = {
+              obs::Counter::kMsgDroppedInjected,
+              obs::Counter::kMsgDupInjected,
+              obs::Counter::kMsgReorderedInjected,
+              obs::Counter::kMsgTruncatedInjected,
+          };
+          reg_.add(src, kFaultCounter[static_cast<std::size_t>(k)]);
+          DGR_TRACE_EVENT(trace_.get(), obs::EventType::kFaultInjected,
+                          Plane::kR, static_cast<std::uint16_t>(src), 0,
+                          static_cast<std::uint64_t>(k), bytes);
+        });
   }
   if (cfg_.use_channel) {
     chan_ = std::make_unique<ChannelManager>(
@@ -52,6 +76,38 @@ WorkerEngine::WorkerEngine(Socket sock, FrameCodec codec,
             send_data(src, dst, std::move(frame));
           }
         });
+    ChannelManager::Hooks hooks;
+    hooks.on_retransmit = [this](PeId src, PeId, std::uint64_t seq,
+                                 std::uint32_t attempt) {
+      reg_.add(src, obs::Counter::kMsgRetransmit);
+      DGR_TRACE_EVENT(trace_.get(), obs::EventType::kMsgRetransmit, Plane::kR,
+                      static_cast<std::uint16_t>(src), 0, seq, attempt);
+    };
+    hooks.on_dup_suppressed = [this](PeId dst, PeId, std::uint64_t seq) {
+      reg_.add(dst, obs::Counter::kMsgDupSuppressed);
+      DGR_TRACE_EVENT(trace_.get(), obs::EventType::kMsgDupSuppressed,
+                      Plane::kR, static_cast<std::uint16_t>(dst), 0, seq);
+    };
+    hooks.on_decode_error = [this](PeId pe) {
+      reg_.add(pe, obs::Counter::kMsgDecodeError);
+    };
+    hooks.on_rtt = [this](PeId src, double rtt_us) {
+      reg_.observe(src, obs::Hist::kChannelRtt, rtt_us);
+    };
+    hooks.on_batch_flush = [this](PeId src, PeId, std::size_t payloads,
+                                  std::size_t frame_bytes) {
+      reg_.add(src, obs::Counter::kBatchFlush);
+      reg_.add(src, obs::Counter::kMsgBatched, payloads);
+      if (cfg_.reliable.batch_bytes > 0)
+        reg_.observe(src, obs::Hist::kBatchFillPct,
+                     100.0 * static_cast<double>(frame_bytes) /
+                         static_cast<double>(cfg_.reliable.batch_bytes));
+      DGR_TRACE_EVENT(trace_.get(), obs::EventType::kBatchFlush, Plane::kR,
+                      static_cast<std::uint16_t>(src), 0,
+                      static_cast<std::uint64_t>(payloads),
+                      static_cast<std::uint64_t>(frame_bytes));
+    };
+    chan_->set_hooks(std::move(hooks));
   }
 }
 
@@ -75,10 +131,13 @@ void WorkerEngine::spawn(Task t) {
                 "worker replicas execute marking tasks only");
   const PeId dst = t.d.pe;
   if (owns(dst)) {
+    reg_.add(cur_pe_, obs::Counter::kLocalMessages);
     q_.push_back(t);
     return;
   }
   std::vector<std::uint8_t> bytes = encode_task(t);
+  reg_.add(cur_pe_, obs::Counter::kRemoteMessages);
+  reg_.add(cur_pe_, obs::Counter::kBytesSent, bytes.size());
   if (chan_) {
     chan_->send(cur_pe_, dst, std::move(bytes), now_us());
   } else {
@@ -96,6 +155,10 @@ void WorkerEngine::drain_local() {
     const Task t = q_.front();
     q_.pop_front();
     cur_pe_ = t.d.pe;
+    reg_.observe(t.d.pe, obs::Hist::kMarkQueueDepth,
+                 static_cast<double>(q_.size() + 1));
+    reg_.add(t.d.pe, t.kind == TaskKind::kMark ? obs::Counter::kMarkTasks
+                                               : obs::Counter::kReturnTasks);
     marker_.exec(t);
   }
 }
@@ -109,14 +172,75 @@ void WorkerEngine::service_channel() {
   }
 }
 
+void WorkerEngine::send_telemetry(Plane plane, std::uint64_t epoch) {
+  TelemetryMsg m;
+  m.plane = plane;
+  m.epoch = epoch;
+  m.pe_begin = cfg_.pe_begin;
+  m.pe_count = cfg_.pe_count;
+  for (std::uint32_t i = 0; i < cfg_.pe_count; ++i) {
+    const std::uint32_t pe = cfg_.pe_begin + i;
+    for (std::size_t c = 0; c < obs::kNumCounters; ++c) {
+      const std::uint64_t cur = reg_.get(pe, static_cast<obs::Counter>(c));
+      const std::uint64_t delta = cur - prev_counters_[i][c];
+      if (!delta) continue;
+      m.counters.push_back({pe, static_cast<std::uint8_t>(c), delta});
+      prev_counters_[i][c] = cur;
+    }
+    for (std::size_t h = 0; h < obs::kNumHists; ++h) {
+      Histogram cur = reg_.hist(pe, static_cast<obs::Hist>(h));
+      Histogram& prev = prev_hists_[i * obs::kNumHists + h];
+      TelemetryMsg::HistDelta hd;
+      hd.pe = pe;
+      hd.hist = static_cast<std::uint8_t>(h);
+      hd.max = cur.max_value();
+      for (std::size_t b = 0; b < cur.num_buckets(); ++b) {
+        const std::uint64_t delta = cur.bucket_count(b) - prev.bucket_count(b);
+        if (delta)
+          hd.buckets.emplace_back(static_cast<std::uint32_t>(b), delta);
+      }
+      prev = std::move(cur);
+      if (!hd.buckets.empty()) m.hists.push_back(std::move(hd));
+    }
+  }
+#if DGR_TRACE_ENABLED
+  if (trace_) {
+    // Stamp the lane once per quiesce even when the wave was tiny (fewer
+    // marks than the marker's wave-front sampling period): every worker then
+    // shows up in the merged timeline with its cumulative mark progress.
+    trace_->emit(obs::EventType::kWaveFront, plane,
+                 static_cast<std::uint16_t>(cfg_.pe_begin), 0,
+                 reg_.get(cfg_.pe_begin, obs::Counter::kMarkTasks));
+    std::vector<obs::TraceEvent> ev = trace_->snapshot();
+    m.ring_dropped = trace_->dropped();
+    trace_->clear();
+    if (ev.size() > kMaxTelemetryEvents) {
+      m.events_omitted = ev.size() - kMaxTelemetryEvents;
+      ev.resize(kMaxTelemetryEvents);
+    }
+    m.events = std::move(ev);
+  }
+#endif
+  NetFrame f;
+  f.type = FrameType::kTelemetry;
+  f.src = cfg_.pe_begin;
+  f.payload = encode_telemetry(m);
+  send_frame(f);
+}
+
 void WorkerEngine::send_mark_report(Plane plane, std::uint64_t epoch) {
   // Order matters: release everything the fault plane is holding (all
   // duplicates or stale by the wave-termination argument in DESIGN.md §7),
-  // flush channel batches, then report. The report is the controller's
-  // signal that this worker's partition state is final for the wave.
+  // flush channel batches, then report. The telemetry delta goes out after
+  // the drains (so it covers the whole interval) but before the report —
+  // same FIFO connection, so the controller has merged this interval's
+  // telemetry before the wave's final report lets the cycle advance. The
+  // report is the controller's signal that this worker's partition state is
+  // final for the wave.
   if (fault_) fault_->flush();
   service_channel();
   drain_local();
+  send_telemetry(plane, epoch);
   NetFrame f;
   f.type = FrameType::kMarkReport;
   f.src = cfg_.pe_begin;
@@ -178,6 +302,25 @@ bool WorkerEngine::handle_frame(NetFrame f) {
         return false;
       }
       send_mark_report(plane, epoch);
+      return true;
+    }
+    case FrameType::kClockProbe: {
+      // Echo immediately: every µs between the controller's send and this
+      // reply inflates the RTT bound on the offset estimate.
+      ClockProbeMsg probe;
+      if (!decode_clock_probe(f.payload, probe)) {
+        fatal_ = true;
+        return false;
+      }
+      ClockEchoMsg echo;
+      echo.seq = probe.seq;
+      echo.t_controller_us = probe.t_controller_us;
+      echo.t_worker_us = now_us();
+      NetFrame reply;
+      reply.type = FrameType::kClockEcho;
+      reply.src = cfg_.pe_begin;
+      reply.payload = encode_clock_echo(echo);
+      send_frame(reply);
       return true;
     }
     case FrameType::kShutdown: {

@@ -19,10 +19,12 @@
 // overtake work the controller already counted.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <vector>
 
 #include "core/marker.h"
 #include "core/task.h"
@@ -31,6 +33,9 @@
 #include "net/proto.h"
 #include "net/reliable_channel.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/stats.h"
 
 namespace dgr {
 
@@ -63,6 +68,9 @@ class WorkerEngine final : public TaskSink {
   void send_data(PeId src, PeId dst, std::vector<std::uint8_t> bytes);
   void service_channel();
   void send_mark_report(Plane plane, std::uint64_t epoch);
+  // Ship the registry/trace delta accumulated since the previous quiesce
+  // (sent immediately before the kMarkReport on the same FIFO connection).
+  void send_telemetry(Plane plane, std::uint64_t epoch);
   std::uint64_t now_us() const {
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
@@ -85,6 +93,15 @@ class WorkerEngine final : public TaskSink {
   bool clean_shutdown_ = false;
   bool fatal_ = false;
   std::chrono::steady_clock::time_point t0_;
+
+  // Telemetry plane: full-width registry (indexed by global PE; only the
+  // owned block is ever touched) plus the per-quiesce delta baseline.
+  obs::MetricsRegistry reg_;
+  std::vector<std::array<std::uint64_t, obs::kNumCounters>> prev_counters_;
+  std::vector<Histogram> prev_hists_;  // pe_count × kNumHists, row-major
+  // Worker-side trace ring (populated only in DGR_TRACE builds when the
+  // controller asked for it; the unique_ptr itself is trace-off safe).
+  std::unique_ptr<obs::TraceBuffer> trace_;
 };
 
 // Parse `--connect ADDR --index N`, register with the controller and run a

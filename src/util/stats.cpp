@@ -79,6 +79,13 @@ void Histogram::merge(const Histogram& other) {
   max_ = std::max(max_, other.max_);
 }
 
+void Histogram::add_bucket(std::size_t b, std::uint64_t n, double max_hint) {
+  if (b >= buckets_.size() || n == 0) return;
+  buckets_[b] += n;
+  total_ += n;
+  max_ = std::max(max_, max_hint);
+}
+
 void Histogram::reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   total_ = 0;

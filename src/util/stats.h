@@ -45,6 +45,15 @@ class Histogram {
   double max_value() const { return max_; }
   std::string summary() const;
 
+  // Raw log-bucket access, for shipping exact histogram deltas over the
+  // cluster telemetry plane (net/proto.h): the sender walks bucket_count()
+  // and ships (bucket, count-since-last) pairs; the receiver folds them back
+  // with add_bucket. max_hint carries the sender's observed max — bucket
+  // midpoints alone would understate it.
+  std::size_t num_buckets() const { return buckets_.size(); }
+  std::uint64_t bucket_count(std::size_t b) const { return buckets_[b]; }
+  void add_bucket(std::size_t b, std::uint64_t n, double max_hint);
+
  private:
   static int bucket_for(double x);
   static double bucket_mid(int b);

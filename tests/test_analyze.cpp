@@ -223,5 +223,101 @@ TEST(Analyze, MetricsEnrichmentRejectsGarbage) {
   EXPECT_FALSE(r.metrics_enriched);
 }
 
+// ---- Cluster telemetry plane (PR 8) ----------------------------------------
+
+TEST(Analyze, TraceDropSurvivesJsonlRoundTripAndIsAccounted) {
+  // The drop marker the cluster merger synthesizes must ride the normal
+  // export path: jsonl out, jsonl in, then show up in the report's loss
+  // accounting — in both the machine and human forms.
+  std::vector<TraceEvent> events;
+  events.push_back(ev(EventType::kCycleStart, Plane::kR, 0, 1, 100));
+  events.push_back(make_drop_event(/*ts=*/110, /*cycle=*/1, /*pe=*/2,
+                                   /*ring_dropped=*/7, /*omitted=*/3));
+  events.push_back(make_drop_event(120, 1, 3, 5, 0));
+  events.push_back(ev(EventType::kCycleEnd, Plane::kR, 0, 1, 130));
+
+  const std::vector<TraceEvent> back = from_jsonl(to_jsonl(events));
+  ASSERT_EQ(back.size(), events.size());
+  EXPECT_EQ(back[1].type, EventType::kTraceDrop);
+  EXPECT_EQ(back[1].pe, 2u);
+  EXPECT_EQ(back[1].a, 7u);
+  EXPECT_EQ(back[1].b, 3u);
+
+  const TraceReport r = analyze(back);
+  EXPECT_EQ(r.trace_dropped, 12u);
+  EXPECT_EQ(r.trace_events_omitted, 3u);
+  const std::string json = report_to_json(r);
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"trace_dropped\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_events_omitted\":3"), std::string::npos);
+  EXPECT_NE(report_to_text(r).find("TRACE LOSS"), std::string::npos);
+}
+
+// A metrics dump in the shape ProcEngine::cluster_metrics_json writes —
+// registry keys first (one block per PE), then the "workers" rollup (values
+// arbitrary but internally consistent: two workers, one PE each here).
+const char* kClusterDump =
+    "{\"num_pes\":2,\"totals\":{\"mark_tasks\":90,\"return_tasks\":88},"
+    "\"pes\":[{\"pe\":0,\"counters\":{\"mark_tasks\":50},\"hists\":{}},"
+    "{\"pe\":1,\"counters\":{\"mark_tasks\":40},\"hists\":{}}],"
+    "\"num_workers\":2,\"workers\":["
+    "{\"worker\":0,\"pe_begin\":0,\"pe_count\":1,\"marks\":50,\"returns\":49,"
+    "\"remote_messages\":12,\"retransmits\":1,\"handoff_bytes\":2048,"
+    "\"relayed_frames\":6,\"relayed_bytes\":300,\"telemetry_msgs\":4,"
+    "\"telemetry_dropped\":0,\"clock_offset_us\":-250,\"clock_rtt_us\":80},"
+    "{\"worker\":1,\"pe_begin\":1,\"pe_count\":1,\"marks\":40,\"returns\":39,"
+    "\"remote_messages\":11,\"retransmits\":0,\"handoff_bytes\":1900,"
+    "\"relayed_frames\":5,\"relayed_bytes\":280,\"telemetry_msgs\":4,"
+    "\"telemetry_dropped\":9,\"clock_offset_us\":300,\"clock_rtt_us\":95}]}";
+
+TEST(Analyze, ClusterMetricsDumpFillsWorkerRows) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(EventType::kCycleStart, Plane::kR, 0, 1, 100));
+  events.push_back(ev(EventType::kCycleEnd, Plane::kR, 0, 1, 140));
+  TraceReport r = analyze(events);
+  ASSERT_TRUE(enrich_with_metrics_json(r, kClusterDump));
+  ASSERT_EQ(r.workers.size(), 2u);
+  const WorkerRow& w0 = r.workers[0];
+  EXPECT_EQ(w0.pe_begin, 0u);
+  EXPECT_EQ(w0.pe_count, 1u);
+  EXPECT_EQ(w0.marks, 50u);
+  EXPECT_EQ(w0.handoff_bytes, 2048u);
+  EXPECT_EQ(w0.clock_offset_us, -250);  // negative skew must parse signed
+  const WorkerRow& w1 = r.workers[1];
+  EXPECT_EQ(w1.telemetry_dropped, 9u);
+  EXPECT_EQ(w1.clock_offset_us, 300);
+
+  // Both rendered forms carry the rollup.
+  const std::string json = report_to_json(r);
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"workers\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"clock_offset_us\":-250"), std::string::npos);
+  const std::string text = report_to_text(r);
+  EXPECT_NE(text.find("== cluster =="), std::string::npos);
+  EXPECT_NE(text.find("tele-drop"), std::string::npos);
+}
+
+TEST(Analyze, ChromeClusterExportLanesPerProcess) {
+  // Controller events on pid 0; each worker's (already-rebased) events on
+  // pid w+1 with per-PE named threads; drop markers render as instants.
+  std::vector<TraceEvent> ctrl;
+  ctrl.push_back(ev(EventType::kCycleStart, Plane::kR, 0, 1, 100));
+  ctrl.push_back(ev(EventType::kCycleEnd, Plane::kR, 0, 1, 200));
+  std::vector<std::vector<TraceEvent>> workers(2);
+  workers[0].push_back(ev(EventType::kWaveFront, Plane::kR, 0, 1, 120, 32));
+  workers[1].push_back(ev(EventType::kWaveFront, Plane::kR, 2, 1, 130, 16));
+  workers[1].push_back(make_drop_event(135, 1, 2, 4, 1));
+
+  const std::string json = to_chrome_trace_cluster(ctrl, workers, 4);
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"controller\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  // Worker 1's events sit in its own lane, not the controller's.
+  EXPECT_NE(json.find("\"pid\":2,\"tid\":2"), std::string::npos);
+  EXPECT_NE(json.find("trace_drop"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dgr::obs

@@ -5,7 +5,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "graph/builder.h"
@@ -28,6 +31,10 @@ struct RigParams {
   std::uint32_t capacity = 900;
   std::uint32_t vertices = 500;
   std::uint32_t tasks = 12;
+  // Arm controller + worker trace rings before start() (no-op when tracing
+  // is compiled out; the telemetry counters flow regardless).
+  bool trace = false;
+  std::size_t trace_capacity = 1 << 14;
 };
 
 class ProcRig {
@@ -42,6 +49,7 @@ class ProcRig {
     b_ = build_random_graph(g_, opt);
     eng_ = std::make_unique<ProcEngine>(g_, popt);
     eng_->set_root(b_.root);
+    if (rp.trace) eng_->enable_trace(rp.trace_capacity);
     for (const TaskRef& t : b_.tasks)
       eng_->inject(Task::request(t.s, t.d, ReqKind::kVital));
     eng_->start();
@@ -245,6 +253,183 @@ TEST(ProcEngine, RescueWaveCrossesProcessBoundary) {
   EXPECT_TRUE(rescued)
       << "no attempt landed a rescue inside an in-flight wave";
 }
+
+// ---- Cluster telemetry plane (PR 8) ----------------------------------------
+
+// Every "key": value occurrence in a JSON string, in document order.
+std::vector<std::uint64_t> scan_all_u64(const std::string& json,
+                                        const std::string& key) {
+  std::vector<std::uint64_t> out;
+  std::size_t pos = 0;
+  const std::string pat = "\"" + key + "\":";
+  while ((pos = json.find(pat, pos)) != std::string::npos) {
+    pos += pat.size();
+    out.push_back(std::strtoull(json.c_str() + pos, nullptr, 10));
+  }
+  return out;
+}
+
+TEST(ProcTelemetry, CountersAgreeWithMergedMarkReports) {
+  // The telemetry plane (counter deltas at every quiesce) and the mark-report
+  // merge are independent paths over the same execution: the merged registry
+  // totals must agree exactly with the wave stats the controller merged.
+  RigParams rp;
+  ProcOptions popt;
+  popt.workers = 2;
+  ProcRig rig(rp, popt);
+  CycleOptions copt;
+  copt.detect_deadlock = true;  // exercise both planes in one wave
+  rig.eng().controller().start_cycle(copt);
+  rig.eng().wait_cycle_done();
+  ASSERT_FALSE(rig.eng().failed());
+
+  const obs::MetricsRegistry& reg = rig.eng().metrics();
+  const MarkStats& mr = rig.eng().marker().stats(Plane::kR);
+  const MarkStats& mt = rig.eng().marker().stats(Plane::kT);
+  const std::uint64_t reported_marks =
+      mr.marks.load(std::memory_order_relaxed) +
+      mt.marks.load(std::memory_order_relaxed);
+  const std::uint64_t reported_returns =
+      mr.returns.load(std::memory_order_relaxed) +
+      mt.returns.load(std::memory_order_relaxed);
+  EXPECT_GT(reported_marks, 0u);
+  EXPECT_EQ(reg.total(obs::Counter::kMarkTasks), reported_marks);
+  EXPECT_EQ(reg.total(obs::Counter::kReturnTasks), reported_returns);
+  // Controller-side accounting rides the same registry.
+  EXPECT_EQ(reg.total(obs::Counter::kHandoffBytes),
+            rig.eng().stats().handoff_bytes);
+  EXPECT_EQ(reg.total(obs::Counter::kTelemetryDropped), 0u);
+}
+
+TEST(ProcTelemetry, EveryWorkerReportsEveryPlane) {
+  RigParams rp;
+  rp.seed = 13;
+  ProcOptions popt;
+  popt.workers = 2;
+  ProcRig rig(rp, popt);
+  for (int round = 0; round < 3; ++round) {
+    CycleOptions copt;
+    copt.detect_deadlock = round == 1;
+    rig.eng().controller().start_cycle(copt);
+    rig.eng().wait_cycle_done();
+    ASSERT_FALSE(rig.eng().failed());
+    rig.churn(4);
+  }
+  const ProcEngineStats s = rig.eng().stats();
+  const std::string full = rig.eng().cluster_metrics_json();
+  // Scope the scans to the worker rollup: the registry's own totals/per-PE
+  // blocks reuse counter names like telemetry_msgs.
+  const std::size_t rollup = full.find("\"workers\":[");
+  ASSERT_NE(rollup, std::string::npos) << full;
+  const std::string json = full.substr(rollup);
+  // One rollup row per worker.
+  const std::vector<std::uint64_t> workers = scan_all_u64(json, "worker");
+  ASSERT_EQ(workers.size(), 2u) << json;
+  // Each worker shipped one telemetry payload per quiesce barrier — every
+  // plane begin (and rescue reopen) ends in exactly one.
+  const std::vector<std::uint64_t> tmsgs =
+      scan_all_u64(json, "telemetry_msgs");
+  ASSERT_EQ(tmsgs.size(), 2u);
+  EXPECT_EQ(tmsgs[0], s.planes_started + s.rescue_begins);
+  EXPECT_EQ(tmsgs[1], tmsgs[0]);
+  // Rows partition the registry: per-worker marks sum to the merged total.
+  // ("marks" as a key appears only in worker rows; the registry counter is
+  // named "mark_tasks".)
+  const std::vector<std::uint64_t> marks = scan_all_u64(json, "marks");
+  ASSERT_EQ(marks.size(), 2u) << json;
+  EXPECT_EQ(marks[0] + marks[1],
+            rig.eng().metrics().total(obs::Counter::kMarkTasks));
+  // Nothing dropped, and the drops field is present and zero.
+  const std::vector<std::uint64_t> drops =
+      scan_all_u64(json, "telemetry_dropped");
+  ASSERT_GE(drops.size(), 2u);
+  for (std::uint64_t d : drops) EXPECT_EQ(d, 0u);
+  // At least one clock echo folded in per worker (probed at registration and
+  // at every plane begin).
+  EXPECT_GT(rig.eng().clock_samples(0), 0u);
+  EXPECT_GT(rig.eng().clock_samples(1), 0u);
+}
+
+#if DGR_TRACE_ENABLED
+// Lane projection that ignores wall-clock: the behavioral part of a worker's
+// trace (event kinds, planes, PE attribution, cumulative mark counts) is
+// deterministic for a given seed even though timestamps never are.
+std::vector<std::tuple<obs::EventType, Plane, std::uint16_t, std::uint64_t>>
+project(const std::vector<obs::TraceEvent>& ev) {
+  std::vector<std::tuple<obs::EventType, Plane, std::uint16_t, std::uint64_t>>
+      out;
+  for (const obs::TraceEvent& e : ev)
+    out.emplace_back(e.type, e.plane, e.pe, e.a);
+  return out;
+}
+
+TEST(ProcTelemetry, GoldenMergedTraceIsDeterministicPerSeed) {
+  RigParams rp;
+  rp.seed = 17;
+  rp.trace = true;
+  ProcOptions popt;
+  popt.workers = 2;
+
+  auto run = [&] {
+    ProcRig rig(rp, popt);
+    for (int round = 0; round < 2; ++round) {
+      rig.eng().controller().start_cycle(CycleOptions{false});
+      rig.eng().wait_cycle_done();
+    }
+    EXPECT_FALSE(rig.eng().failed());
+    return rig.eng().worker_traces();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(b.size(), 2u);
+  for (std::uint32_t w = 0; w < 2; ++w) {
+    // Every worker lane has at least the per-quiesce wave-front stamps.
+    EXPECT_GE(a[w].size(), 2u) << "worker " << w;
+    EXPECT_EQ(project(a[w]), project(b[w])) << "worker " << w;
+    // Rebased lanes stay monotone.
+    for (std::size_t i = 1; i < a[w].size(); ++i)
+      EXPECT_GE(a[w][i].ts, a[w][i - 1].ts) << "worker " << w << " ev " << i;
+  }
+}
+
+TEST(ProcTelemetry, TinyRingSurfacesDropAccounting) {
+  // A 2-slot worker ring cannot hold a wave's worth of events: the overflow
+  // must surface as ring_dropped -> kTelemetryDropped counters, a kTraceDrop
+  // event in the merged lane, and a nonzero rollup field — never silently.
+  RigParams rp;
+  rp.seed = 19;
+  rp.trace = true;
+  rp.trace_capacity = 2;
+  ProcOptions popt;
+  popt.workers = 2;
+  ProcRig rig(rp, popt);
+  rig.eng().controller().start_cycle(CycleOptions{false});
+  rig.eng().wait_cycle_done();
+  ASSERT_FALSE(rig.eng().failed());
+
+  EXPECT_GT(rig.eng().metrics().total(obs::Counter::kTelemetryDropped), 0u);
+  const auto lanes = rig.eng().worker_traces();
+  bool saw_drop_event = false;
+  std::uint64_t drop_sum = 0;
+  for (const auto& lane : lanes)
+    for (const obs::TraceEvent& e : lane)
+      if (e.type == obs::EventType::kTraceDrop) {
+        saw_drop_event = true;
+        drop_sum += e.a + e.b;
+      }
+  EXPECT_TRUE(saw_drop_event);
+  EXPECT_EQ(drop_sum,
+            rig.eng().metrics().total(obs::Counter::kTelemetryDropped));
+  const std::string json = rig.eng().cluster_metrics_json();
+  std::uint64_t rollup_drops = 0;
+  for (std::uint64_t d : scan_all_u64(json, "telemetry_dropped"))
+    rollup_drops += d;
+  // The rollup rows and the per-PE registry double-book the same loss; each
+  // worker row must account for what its lane lost.
+  EXPECT_GE(rollup_drops, drop_sum);
+}
+#endif  // DGR_TRACE_ENABLED
 
 }  // namespace
 }  // namespace dgr
