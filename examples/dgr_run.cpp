@@ -75,6 +75,8 @@
 // JSONL holds the same merged stream, and the metrics JSON is the merged
 // registry plus a per-worker "workers":[...] rollup. The sim phase's own
 // exports move to "<path>.sim.json[l]" (docs/OBSERVABILITY.md).
+#include <signal.h>
+
 #include <algorithm>
 #include <cctype>
 #include <chrono>
@@ -195,6 +197,11 @@ int main(int argc, char** argv) {
   std::uint32_t workers = 0;
   const char* worker_bin = nullptr;
   bool worker_tcp = false;
+  // Chaos leg: SIGKILL worker W right after cycle C starts ("W@C"; bare "W"
+  // kills at the midpoint of --audit-cycles). The run is then REQUIRED to
+  // survive — recover onto the remaining workers and keep auditing clean.
+  std::uint32_t kill_worker = kAnyWorkerIndex;
+  std::uint32_t kill_cycle = 0;
   Placement placement = Placement::kScatter;
   NetOptions net;
   const char* trace_path = nullptr;
@@ -271,6 +278,20 @@ int main(int argc, char** argv) {
       workers = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (!std::strcmp(argv[i], "--worker-bin") && i + 1 < argc) {
       worker_bin = argv[++i];
+    } else if (!std::strcmp(argv[i], "--kill-worker") && i + 1 < argc) {
+      ++i;
+      unsigned w = 0, c = 0;
+      if (std::sscanf(argv[i], "%u@%u", &w, &c) == 2) {
+        kill_worker = w;
+        kill_cycle = c;
+      } else if (std::sscanf(argv[i], "%u", &w) == 1) {
+        kill_worker = w;  // kill_cycle 0 = midpoint, resolved below
+      } else {
+        std::fprintf(stderr,
+                     "dgr_run: --kill-worker expects W or W@CYCLE (got '%s')\n",
+                     argv[i]);
+        return 2;
+      }
     } else if (!std::strcmp(argv[i], "--transport") && i + 1 < argc) {
       ++i;
       if (!std::strcmp(argv[i], "tcp")) {
@@ -301,6 +322,15 @@ int main(int argc, char** argv) {
     gc = true;
     if (audit_period == 0) audit_period = 1;
   }
+  if (kill_worker != kAnyWorkerIndex) {
+    if (workers < 2 || kill_worker >= workers) {
+      std::fprintf(stderr,
+                   "dgr_run: --kill-worker needs --workers >= 2 and a valid "
+                   "worker index (survivors must exist)\n");
+      return 2;
+    }
+    if (kill_cycle == 0) kill_cycle = audit_cycles / 2 ? audit_cycles / 2 : 1;
+  }
   if (!path) {
     std::fprintf(stderr,
                  "usage: dgr_run [--pes N] [--seed S] [--speculate] [--gc] "
@@ -312,7 +342,7 @@ int main(int argc, char** argv) {
                  "[--fault-trunc P] [--batch-bytes N] [--batch-us U] "
                  "[--no-batch] [--partition P] [--steal|--no-steal] "
                  "[--workers N] [--worker-bin PATH] [--transport uds|tcp] "
-                 "<file|->\n");
+                 "[--kill-worker W[@CYCLE]] <file|->\n");
     return 2;
   }
 #if !DGR_TRACE_ENABLED
@@ -453,10 +483,23 @@ int main(int argc, char** argv) {
     peng.start();
     HealthEmitter health(stats_period, stats_jsonl_path);
     for (std::uint32_t i = 0; i < audit_cycles && !peng.failed(); ++i) {
-      peng.controller().start_cycle(CycleOptions{detect});
+      // start_cycle (not controller().start_cycle): the engine wrapper
+      // excludes a concurrent membership recovery from racing the cycle's
+      // task-root construction.
+      peng.start_cycle(CycleOptions{detect});
+      if (kill_worker != kAnyWorkerIndex && i + 1 == kill_cycle) {
+        // Chaos: SIGKILL the victim mid-wave. The controller must detect
+        // the loss (socket EOF or barrier watchdog), repartition onto the
+        // survivors, and resume from the last completed quiesce.
+        const long pid = peng.worker_pid(kill_worker);
+        if (pid > 0) {
+          std::printf("# chaos: killing worker %u (pid %ld) in cycle %u\n",
+                      kill_worker, pid, i + 1);
+          ::kill(static_cast<pid_t>(pid), SIGKILL);
+        }
+      }
       peng.wait_cycle_done();
-      health.on_cycle(peng.metrics(), i + 1,
-                      peng.failed() ? 0 : peng.num_workers(),
+      health.on_cycle(peng.metrics(), i + 1, peng.workers_live(),
                       peng.num_workers());
     }
     const bool worker_died = peng.failed();
@@ -526,9 +569,35 @@ int main(int argc, char** argv) {
         (unsigned long long)ps.seeds_sent,
         (unsigned long long)ps.rescue_begins,
         (unsigned long long)ps.reports_merged);
+    std::printf(
+        "# handoffs: full=%llu (%llu bytes) delta=%llu (%llu bytes)\n",
+        (unsigned long long)ps.handoffs_full,
+        (unsigned long long)ps.handoff_full_bytes,
+        (unsigned long long)ps.handoffs_delta,
+        (unsigned long long)ps.handoff_delta_bytes);
+    std::printf(
+        "# membership: gen=%u lost=%llu pes_reassigned=%llu resyncs=%llu "
+        "recoveries=%llu live=%u/%u\n",
+        (unsigned)peng.membership_gen(), (unsigned long long)ps.workers_lost,
+        (unsigned long long)ps.partitions_reassigned,
+        (unsigned long long)ps.handoff_resyncs,
+        (unsigned long long)ps.recoveries, peng.workers_live(),
+        peng.num_workers());
     if (worker_died) {
-      std::printf("# proc audit: a worker process died mid-run\n");
+      std::printf("# proc audit: every worker process died mid-run\n");
       rc = rc ? rc : 5;
+    }
+    if (kill_worker != kAnyWorkerIndex) {
+      // The chaos gate: the kill must have registered as a membership loss
+      // AND the run must have recovered (repartitioned, restarted, and kept
+      // auditing) rather than failing outright.
+      if (ps.workers_lost == 0) {
+        std::printf("# chaos: kill did not register as a worker loss\n");
+        rc = rc ? rc : 6;
+      } else if (ps.recoveries == 0) {
+        std::printf("# chaos: loss registered but no recovery ran\n");
+        rc = rc ? rc : 6;
+      }
     }
     if (health_fatal && as.violations) rc = rc ? rc : 4;
   } else if (audit_period) {

@@ -47,6 +47,16 @@ void Controller::start_cycle(const CycleOptions& opt) {
   }
 }
 
+void Controller::abort_cycle() {
+  if (idle()) return;
+  // Both planes, unconditionally: kT may be active (phase kMarkT) or ended
+  // mid-cycle, kR may not have begun yet — abort() is a no-op either way.
+  marker_.abort(Plane::kT);
+  marker_.abort(Plane::kR);
+  cur_ = CycleResult{};
+  phase_ = Phase::kIdle;
+}
+
 VertexId Controller::build_task_roots() {
   // §5.2: args(taskroot_i) = { v | v is the source or destination of some
   // task in taskpool(i) }, args(troot) = { taskroot_i }. We assign a task's

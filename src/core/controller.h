@@ -96,6 +96,17 @@ class Controller {
   // entirely from within task executions — there is no central polling.
   void start_cycle(const CycleOptions& opt = {});
 
+  // Abandon the in-flight cycle without restructuring: both planes are
+  // force-ended (their epoch-tagged marks become semantically void) and the
+  // phase returns to idle. No hooks fire and nothing is swept — the caller
+  // is expected to start_cycle() again once the world is consistent. Used by
+  // the distributed engine when a worker is lost mid-wave. No-op when idle.
+  void abort_cycle();
+
+  // The options the in-flight (or most recent) cycle was started with —
+  // what a recovery restart should re-run.
+  const CycleOptions& current_options() const { return opt_; }
+
   bool idle() const { return phase_.load(std::memory_order_acquire) == Phase::kIdle; }
 
   // Deferred restructuring for the threaded engine: with this on, the final

@@ -149,6 +149,19 @@ class Marker {
   // Called after the restructuring phase consumed the marks.
   void end(Plane plane) { st(plane).active = false; }
 
+  // Controller side: abandon an in-flight wave wholesale (worker lost or
+  // replica resync). Unlike end(), the wave may still be running: pending
+  // rescue seeds are discarded along with the done/taint state, so the next
+  // begin() starts from a clean plane. The epoch is left alone — stale marks
+  // are voided by the next epoch bump, not cleaned up.
+  void abort(Plane plane) {
+    PlaneState& ps = st(plane);
+    ps.active = false;
+    ps.done = false;
+    ps.tainted = false;
+    ps.rescue_q.clear();
+  }
+
   // Execute a kMark / kMarkReturn task (engine dispatch).
   void exec(const Task& t);
 

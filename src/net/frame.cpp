@@ -38,6 +38,8 @@ const char* frame_type_name(FrameType t) {
     case FrameType::kTelemetry: return "telemetry";
     case FrameType::kClockProbe: return "clock_probe";
     case FrameType::kClockEcho: return "clock_echo";
+    case FrameType::kEpochFence: return "epoch_fence";
+    case FrameType::kHandoffAck: return "handoff_ack";
   }
   return "?";
 }
@@ -48,8 +50,8 @@ std::vector<std::uint8_t> encode_frame(const NetFrame& f) {
   put_u32(b, kFrameMagic);
   b.push_back(kFrameVersion);
   b.push_back(static_cast<std::uint8_t>(f.type));
-  b.push_back(0);
-  b.push_back(0);
+  b.push_back(static_cast<std::uint8_t>(f.gen));
+  b.push_back(static_cast<std::uint8_t>(f.gen >> 8));
   put_u32(b, f.src);
   put_u32(b, f.dst);
   put_u32(b, static_cast<std::uint32_t>(f.payload.size()));
@@ -101,6 +103,9 @@ bool FrameCodec::next(NetFrame& out) {
   }
   if (avail < kFrameHeaderSize + len) return false;
   out.type = static_cast<FrameType>(h[5]);
+  out.gen = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(h[6]) |
+      (static_cast<std::uint16_t>(h[7]) << 8));
   out.src = get_u32(h + 8);
   out.dst = get_u32(h + 12);
   out.payload.assign(h + kFrameHeaderSize, h + kFrameHeaderSize + len);

@@ -7,7 +7,7 @@
 //        0     4  magic 'DGRF' (0x46524744 little-endian)
 //        4     1  version (kFrameVersion)
 //        5     1  type (FrameType)
-//        6     2  reserved (zero)
+//        6     2  membership generation (u16 LE; 0 until a worker is lost)
 //        8     4  src endpoint / PE (u32 LE)
 //       12     4  dst endpoint / PE (u32 LE)
 //       16     4  payload length in bytes (u32 LE)
@@ -52,12 +52,20 @@ enum class FrameType : std::uint8_t {
   kTelemetry = 12,   // worker → controller: metrics/trace delta per quiesce
   kClockProbe = 13,  // controller → worker: clock-offset probe (echoed back)
   kClockEcho = 14,   // worker → controller: probe + worker clock sample
+  // Dynamic membership (docs/CLUSTER.md "Membership and failure model").
+  kEpochFence = 15,   // controller → workers: adopt gen, void stale traffic
+  kHandoffAck = 16,   // worker → controller: handoff seq + checksum verdict
 };
 
 const char* frame_type_name(FrameType t);
 
 struct NetFrame {
   FrameType type = FrameType::kData;
+  // Membership generation the sender believed current. Bumped by the
+  // controller when a worker is lost; receivers drop kData/kSeed frames whose
+  // gen differs from their own (the epoch fence), so marks from a failed
+  // wave cannot leak into the restarted one. 0 until the first loss.
+  std::uint16_t gen = 0;
   PeId src = 0;
   PeId dst = 0;
   std::vector<std::uint8_t> payload;

@@ -209,65 +209,221 @@ bool decode_vertex_record(ByteReader& r, std::uint32_t& idx, Vertex& v) {
   return r.ok();
 }
 
-Bytes encode_handoff(const Graph& g, PeId pe_begin, std::uint32_t pe_count) {
+namespace {
+
+// FNV-1a over the structural fields a handoff ships. Mark planes are
+// excluded on purpose: stale epochs are semantically unmarked, so marking
+// activity must not perturb fingerprints or checksums.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+inline void fnv(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+std::uint64_t structural_fingerprint(const Vertex& v) {
+  std::uint64_t h = kFnvOffset;
+  if (!v.live) {
+    fnv(h, 0);
+    return h;
+  }
+  fnv(h, 1u | (v.aux ? 2u : 0u) |
+             (static_cast<std::uint64_t>(v.op) << 8));
+  fnv(h, v.args.size());
+  for (const ArgEdge& e : v.args) {
+    fnv(h, (static_cast<std::uint64_t>(e.to.pe) << 32) | e.to.idx);
+    fnv(h, static_cast<std::uint64_t>(e.req));
+    fnv(h, e.req_epoch);
+  }
+  fnv(h, v.requested.size());
+  for (VertexId r : v.requested)
+    fnv(h, (static_cast<std::uint64_t>(r.pe) << 32) | r.idx);
+  fnv(h, v.stale_requested.size());
+  for (VertexId r : v.stale_requested)
+    fnv(h, (static_cast<std::uint64_t>(r.pe) << 32) | r.idx);
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t handoff_checksum(const Graph& g,
+                               const std::vector<std::uint8_t>& owned) {
+  std::uint64_t h = kFnvOffset;
+  for (PeId pe = 0; pe < g.num_pes(); ++pe) {
+    const Store& st = g.store(pe);
+    const auto cap = static_cast<std::uint32_t>(st.capacity());
+    fnv(h, cap);
+    const bool own = pe < owned.size() && owned[pe] != 0;
+    fnv(h, own ? 1 : 0);
+    for (std::uint32_t i = 0; i < cap; ++i) {
+      const Vertex& v = st.at(i);
+      if (own) {
+        // Dead slots contribute liveness only: a replica's residual fields
+        // from when the slot was live are not observable by marking.
+        fnv(h, v.live ? structural_fingerprint(v) : 0);
+      } else {
+        fnv(h, v.live ? 1 : 0);
+      }
+    }
+  }
+  return h;
+}
+
+void HandoffTracker::scan(const Graph& g) {
+  ++seq_;
+  fp_.resize(g.num_pes());
+  changed_.resize(g.num_pes());
+  for (PeId pe = 0; pe < g.num_pes(); ++pe) {
+    const Store& st = g.store(pe);
+    const std::size_t cap = st.capacity();
+    // New slots start at a sentinel no fingerprint produces, so a capacity
+    // grow is always shipped (the replica must grow its store to match).
+    fp_[pe].resize(cap, ~0ull);
+    changed_[pe].resize(cap, 0);
+    for (std::size_t i = 0; i < cap; ++i) {
+      const std::uint64_t f = structural_fingerprint(st.at(i));
+      if (f != fp_[pe][i]) {
+        fp_[pe][i] = f;
+        changed_[pe][i] = seq_;
+      }
+    }
+  }
+}
+
+Bytes HandoffTracker::encode(const Graph& g,
+                             const std::vector<std::uint8_t>& owned,
+                             std::uint64_t since, bool force_full,
+                             std::uint8_t* kind_out) const {
+  const bool delta = !force_full && since > 0 && since <= seq_;
+  const std::uint64_t checksum = handoff_checksum(g, owned);
   ByteWriter w;
+  w.u8(delta ? kHandoffDelta : kHandoffFull);
+  w.u64(seq_);
+  w.u64(checksum);
   w.u32(g.num_pes());
   for (PeId pe = 0; pe < g.num_pes(); ++pe) {
     const Store& st = g.store(pe);
-    const bool full = pe >= pe_begin && pe < pe_begin + pe_count;
-    w.u32(pe);
-    w.u8(full ? 1 : 0);
     const auto cap = static_cast<std::uint32_t>(st.capacity());
+    const bool own = pe < owned.size() && owned[pe] != 0;
+    w.u32(pe);
+    w.u8(own ? 1 : 0);
     w.u32(cap);
-    if (full) {
-      // Count, then records for every occupied slot (aux included: taskroots
-      // and troot carry args the T wave traces).
+    if (!delta) {
+      if (own) {
+        // Count, then records for every occupied slot (aux included:
+        // taskroots and troot carry args the T wave traces).
+        std::uint32_t n = 0;
+        for (std::uint32_t i = 0; i < cap; ++i)
+          if (st.at(i).live) ++n;
+        w.u32(n);
+        for (std::uint32_t i = 0; i < cap; ++i)
+          if (st.at(i).live) encode_vertex_record(w, i, st.at(i));
+      } else {
+        // Liveness bitmap only: remote vertices are marked by their owner,
+        // but mark3 skips dead stale_requested entries by liveness lookup.
+        std::vector<std::uint8_t> bits((cap + 7) / 8, 0);
+        for (std::uint32_t i = 0; i < cap; ++i)
+          if (st.at(i).live)
+            bits[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+        for (std::uint8_t byte : bits) w.u8(byte);
+      }
+    } else {
+      // Slots whose structural fingerprint moved after `since`. Owned PEs
+      // ship whole records (a dead record retires the replica slot);
+      // unowned PEs ship liveness transitions.
       std::uint32_t n = 0;
       for (std::uint32_t i = 0; i < cap; ++i)
-        if (st.at(i).live) ++n;
+        if (changed_[pe][i] > since) ++n;
       w.u32(n);
-      for (std::uint32_t i = 0; i < cap; ++i)
-        if (st.at(i).live) encode_vertex_record(w, i, st.at(i));
-    } else {
-      // Liveness bitmap only: remote vertices are marked by their owner, but
-      // mark3 skips dead stale_requested entries by liveness lookup.
-      std::vector<std::uint8_t> bits((cap + 7) / 8, 0);
-      for (std::uint32_t i = 0; i < cap; ++i)
-        if (st.at(i).live) bits[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
-      for (std::uint8_t byte : bits) w.u8(byte);
+      for (std::uint32_t i = 0; i < cap; ++i) {
+        if (changed_[pe][i] <= since) continue;
+        if (own) {
+          encode_vertex_record(w, i, st.at(i));
+        } else {
+          w.u32(i);
+          w.u8(st.at(i).live ? 1 : 0);
+        }
+      }
     }
   }
+  if (kind_out) *kind_out = delta ? kHandoffDelta : kHandoffFull;
   return w.take();
 }
 
-bool apply_handoff(const Bytes& b, Graph& g) {
+bool apply_handoff(const Bytes& b, Graph& g, std::vector<std::uint8_t>& owned,
+                   HandoffMsg& out) {
   ByteReader r(b);
+  out.kind = r.u8();
+  out.seq = r.u64();
+  out.checksum = r.u64();
   const std::uint32_t num_pes = r.u32();
-  if (!r.ok() || num_pes != g.num_pes()) return false;
+  if (!r.ok() || out.kind > kHandoffDelta || num_pes != g.num_pes())
+    return false;
+  owned.assign(num_pes, 0);
   for (std::uint32_t k = 0; k < num_pes; ++k) {
     const std::uint32_t pe = r.u32();
-    const std::uint8_t full = r.u8();
+    const std::uint8_t own = r.u8();
     const std::uint32_t cap = r.u32();
     if (!r.ok() || pe >= num_pes || cap > kMaxWireList) return false;
+    owned[pe] = own;
     Store& st = g.store(pe);
-    st.reset_for_restore(cap);
-    if (full) {
+    if (out.kind == kHandoffFull) {
+      st.reset_for_restore(cap);
+      if (own) {
+        const std::uint32_t n = r.u32();
+        if (!r.ok() || n > cap) return false;
+        for (std::uint32_t i = 0; i < n; ++i) {
+          std::uint32_t idx = 0;
+          Vertex v;
+          if (!decode_vertex_record(r, idx, v) || idx >= cap) return false;
+          st.at(idx) = std::move(v);
+        }
+      } else {
+        for (std::uint32_t i = 0; i < (cap + 7) / 8; ++i) {
+          const std::uint8_t byte = r.u8();
+          for (std::uint32_t bit = 0; bit < 8 && i * 8 + bit < cap; ++bit)
+            st.at(i * 8 + bit).live = (byte >> bit) & 1;
+        }
+      }
+    } else {
+      // Differential: the replica can only ever grow (controller stores
+      // never shrink); a shrinking cap means the worlds diverged.
+      if (cap < st.capacity()) return false;
+      if (cap > 0 && st.capacity() < cap) st.ensure_slot(cap - 1);
       const std::uint32_t n = r.u32();
       if (!r.ok() || n > cap) return false;
       for (std::uint32_t i = 0; i < n; ++i) {
-        std::uint32_t idx = 0;
-        Vertex v;
-        if (!decode_vertex_record(r, idx, v) || idx >= cap) return false;
-        st.at(idx) = std::move(v);
-      }
-    } else {
-      for (std::uint32_t i = 0; i < (cap + 7) / 8; ++i) {
-        const std::uint8_t byte = r.u8();
-        for (std::uint32_t bit = 0; bit < 8 && i * 8 + bit < cap; ++bit)
-          st.at(i * 8 + bit).live = (byte >> bit) & 1;
+        if (own) {
+          std::uint32_t idx = 0;
+          Vertex v;
+          if (!decode_vertex_record(r, idx, v) || idx >= cap) return false;
+          st.at(idx) = std::move(v);
+        } else {
+          const std::uint32_t idx = r.u32();
+          const std::uint8_t alive = r.u8();
+          if (!r.ok() || idx >= cap) return false;
+          st.at(idx).live = alive != 0;
+        }
       }
     }
   }
+  return r.done();
+}
+
+Bytes encode_handoff_ack(const HandoffAckMsg& m) {
+  ByteWriter w;
+  w.u64(m.seq);
+  w.u8(m.ok ? 1 : 0);
+  return w.take();
+}
+
+bool decode_handoff_ack(const Bytes& b, HandoffAckMsg& out) {
+  ByteReader r(b);
+  out.seq = r.u64();
+  out.ok = r.u8() != 0;
   return r.done();
 }
 
@@ -298,7 +454,7 @@ bool apply_rescue_begin(const Bytes& b, Graph& g, Plane& plane,
 }
 
 Bytes encode_mark_report(const Graph& g, Plane plane, std::uint64_t epoch,
-                         PeId pe_begin, std::uint32_t pe_count,
+                         const std::vector<PeId>& pes,
                          const MarkStats& stats) {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(plane));
@@ -307,9 +463,9 @@ Bytes encode_mark_report(const Graph& g, Plane plane, std::uint64_t epoch,
   w.u64(stats.returns.load(std::memory_order_relaxed));
   w.u64(stats.remarks.load(std::memory_order_relaxed));
   w.u64(stats.coop_spawns.load(std::memory_order_relaxed));
-  w.u32(pe_count);
+  w.u32(static_cast<std::uint32_t>(pes.size()));
   const int pl = static_cast<int>(plane);
-  for (PeId pe = pe_begin; pe < pe_begin + pe_count; ++pe) {
+  for (PeId pe : pes) {
     const Store& st = g.store(pe);
     const auto cap = static_cast<std::uint32_t>(st.capacity());
     std::uint32_t n = 0;

@@ -89,12 +89,81 @@ bool decode_plane_signal(const Bytes& b, Plane& plane, std::uint64_t& epoch);
 void encode_vertex_record(ByteWriter& w, std::uint32_t idx, const Vertex& v);
 bool decode_vertex_record(ByteReader& r, std::uint32_t& idx, Vertex& v);
 
-// kHandoff: the partition snapshot tailored to one worker — full records for
-// the PEs in [pe_begin, pe_begin+pe_count), liveness bitmaps for the rest
-// (mark3 consults liveness of possibly-remote stale_requested entries).
-Bytes encode_handoff(const Graph& g, PeId pe_begin, std::uint32_t pe_count);
-// Worker side: wipe and rebuild the replica's stores from the snapshot.
-bool apply_handoff(const Bytes& b, Graph& g);
+// ---- kHandoff: full snapshots and differential frames ----
+//
+// A handoff is tailored to one worker: full records for its owned PEs,
+// liveness views for the rest (mark3 consults liveness of possibly-remote
+// stale_requested entries). Ownership travels inside the payload as a
+// per-PE flag, so a repartition-on-survivors needs no separate assignment
+// frame — the worker adopts whatever the latest handoff says it owns.
+//
+// Two kinds ride the same frame type:
+//   kHandoffFull   — wipe and rebuild every store (the PR-7 behavior);
+//   kHandoffDelta  — only slots whose structural state changed since the
+//                    last handoff this worker acked. Mark planes are
+//                    epoch-tagged (stale state is semantically unmarked), so
+//                    deltas track structure only: liveness, aux, op, args
+//                    (to/req/req_epoch), requested, stale_requested.
+//
+// Every handoff carries the structural checksum of the post-apply view; the
+// worker recomputes it over its replica and answers kHandoffAck. A mismatch
+// (diverged replica) makes the controller fence the epoch and force a full
+// resync — see docs/CLUSTER.md "Membership and failure model".
+inline constexpr std::uint8_t kHandoffFull = 0;
+inline constexpr std::uint8_t kHandoffDelta = 1;
+
+// Decoded kHandoff header (the body is consumed by apply_handoff).
+struct HandoffMsg {
+  std::uint8_t kind = kHandoffFull;
+  std::uint64_t seq = 0;       // controller scan sequence being shipped
+  std::uint64_t checksum = 0;  // expected post-apply structural checksum
+};
+
+// kHandoffAck payload (worker → controller, same FIFO as its mark reports).
+struct HandoffAckMsg {
+  std::uint64_t seq = 0;
+  bool ok = true;  // false: replica checksum diverged, needs a full resync
+};
+Bytes encode_handoff_ack(const HandoffAckMsg& m);
+bool decode_handoff_ack(const Bytes& b, HandoffAckMsg& out);
+
+// Structural checksum of one worker's view: per PE the capacity, then for
+// owned PEs every live slot's structural fields, for the rest the liveness
+// bits. Computed identically over the authoritative graph and a replica.
+// owned[pe] != 0 marks the worker's PEs (owned.size() == num_pes).
+std::uint64_t handoff_checksum(const Graph& g,
+                               const std::vector<std::uint8_t>& owned);
+
+// Controller-side change tracker behind differential handoffs. scan() runs
+// one O(V) fingerprint pass per plane begin; encode() then cuts per-worker
+// payloads against each worker's acked baseline.
+class HandoffTracker {
+ public:
+  // Refresh per-slot structural fingerprints; slots that moved are stamped
+  // with the new scan sequence. Call once per plane begin, before encode().
+  void scan(const Graph& g);
+  std::uint64_t seq() const { return seq_; }
+
+  // Cut the handoff for one worker. `since` is the scan sequence the worker
+  // last acked (0 = nothing); force_full or since == 0 ships a snapshot.
+  // A delta that would not undercut the snapshot falls back to full.
+  // On return *kind_out (if set) says which kind was encoded.
+  Bytes encode(const Graph& g, const std::vector<std::uint8_t>& owned,
+               std::uint64_t since, bool force_full,
+               std::uint8_t* kind_out = nullptr) const;
+
+ private:
+  std::uint64_t seq_ = 0;
+  std::vector<std::vector<std::uint64_t>> fp_;       // [pe][idx] fingerprint
+  std::vector<std::vector<std::uint64_t>> changed_;  // [pe][idx] last scan
+};
+
+// Worker side: apply a full or delta handoff onto the replica. Updates
+// `owned` from the payload's per-PE flags and returns the decoded header in
+// `out`. Returns false on a malformed payload or a delta that disagrees with
+// the replica's shape (caller should nack and await a full resync).
+bool apply_handoff(const Bytes& b, Graph& g, std::vector<std::uint8_t>& owned,
+                   HandoffMsg& out);
 
 // kRescueBegin: the plane reopens, and the controller-minted rescue root
 // (possibly a slot the handoff never shipped) is replicated to every worker.
@@ -105,10 +174,10 @@ bool apply_rescue_begin(const Bytes& b, Graph& g, Plane& plane,
 
 // kMarkReport: the wave's per-vertex results for one worker's owned PEs —
 // every slot (aux included) whose plane record is tagged with this epoch —
-// plus the worker's wave counters.
+// plus the worker's wave counters. `pes` is the worker's owned PE set (not
+// necessarily contiguous once a repartition-on-survivors has run).
 Bytes encode_mark_report(const Graph& g, Plane plane, std::uint64_t epoch,
-                         PeId pe_begin, std::uint32_t pe_count,
-                         const MarkStats& stats);
+                         const std::vector<PeId>& pes, const MarkStats& stats);
 // Controller side: merge the marks into the authoritative graph (mt_cnt and
 // mt_par are tree-collapse scaffolding — gone by termination — so they merge
 // as 0 / invalid). Returns false on a malformed payload or epoch mismatch.

@@ -190,6 +190,24 @@ void SocketHub::send_to_endpoint_owner(const NetFrame& f) {
   if (c) enqueue(c, f);
 }
 
+void SocketHub::set_endpoint_owner(PeId pe, std::uint32_t worker) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (endpoint_owner_.size() <= pe)
+    endpoint_owner_.resize(pe + 1, kAnyWorkerIndex);
+  endpoint_owner_[pe] = worker;
+}
+
+void SocketHub::drop_worker(std::uint32_t worker) {
+  Conn* c = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (worker < workers_.size()) c = workers_[worker];
+  }
+  // Shutdown (not close): the reader wakes with EOF and runs the same lost
+  // path a crashed worker would; the fd itself is reclaimed in close().
+  if (c) c->sock.shutdown_rdwr();
+}
+
 void SocketHub::broadcast(const NetFrame& f) {
   std::vector<Conn*> targets;
   {

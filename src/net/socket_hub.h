@@ -77,6 +77,17 @@ class SocketHub {
   void send_to_endpoint_owner(const NetFrame& f);
   void broadcast(const NetFrame& f);
 
+  // Rebind one endpoint (PE) to a different worker — the routing half of a
+  // repartition-on-survivors (docs/CLUSTER.md "Membership and failure
+  // model"). Registration still seeds the contiguous initial mapping.
+  void set_endpoint_owner(PeId pe, std::uint32_t worker);
+
+  // Force a registered worker's connection down. The reader observes EOF and
+  // the normal lost path runs (slot cleared, lost callback fired) — this is
+  // how the quiesce-barrier watchdog converts "silent past the deadline"
+  // into a worker_lost event. No-op for unknown or already-lost workers.
+  void drop_worker(std::uint32_t worker);
+
   void close();
 
   TransportStats stats() const;

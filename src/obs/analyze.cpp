@@ -244,6 +244,19 @@ TraceReport analyze(const std::vector<TraceEvent>& events) {
         rep.trace_events_omitted += e.b;
         break;
       }
+      case EventType::kWorkerLost: {
+        ++rep.workers_lost;
+        break;
+      }
+      case EventType::kPartitionReassign: {
+        ++rep.partition_reassigns;
+        rep.pes_reassigned += e.a;
+        break;
+      }
+      case EventType::kHandoffResync: {
+        ++rep.handoff_resyncs;
+        break;
+      }
       case EventType::kCount_:
         break;
     }
@@ -393,6 +406,10 @@ bool enrich_with_metrics_json(TraceReport& report, const std::string& json) {
       scan_u64_after(json, at, "\"remote_messages\":", &row.remote_messages);
       scan_u64_after(json, at, "\"retransmits\":", &row.retransmits);
       scan_u64_after(json, at, "\"handoff_bytes\":", &row.handoff_bytes);
+      scan_u64_after(json, at, "\"handoff_full_bytes\":",
+                     &row.handoff_full_bytes);
+      scan_u64_after(json, at, "\"handoff_delta_bytes\":",
+                     &row.handoff_delta_bytes);
       scan_u64_after(json, at, "\"relayed_frames\":", &row.relayed_frames);
       scan_u64_after(json, at, "\"relayed_bytes\":", &row.relayed_bytes);
       scan_u64_after(json, at, "\"telemetry_msgs\":", &row.telemetry_msgs);
@@ -402,6 +419,21 @@ bool enrich_with_metrics_json(TraceReport& report, const std::string& json) {
       scan_u64_after(json, at, "\"clock_rtt_us\":", &row.clock_rtt_us);
       report.workers.push_back(row);
       wpos = at + 1;
+    }
+    // Membership summary (older dumps lack the object — left at zero).
+    const std::size_t mem_at = json.find("\"membership\":{");
+    if (mem_at != std::string::npos) {
+      scan_u64_after(json, mem_at, "\"gen\":", &report.membership_gen);
+      scan_u64_after(json, mem_at, "\"workers_live\":", &report.workers_live);
+      scan_u64_after(json, mem_at, "\"workers_total\":",
+                     &report.workers_total);
+      std::uint64_t u = 0;
+      if (scan_u64_after(json, mem_at, "\"worker_lost\":", &u))
+        report.workers_lost = u;
+      if (scan_u64_after(json, mem_at, "\"partition_reassigned\":", &u))
+        report.pes_reassigned = u;
+      if (scan_u64_after(json, mem_at, "\"handoff_resyncs\":", &u))
+        report.handoff_resyncs = u;
     }
   }
   report.metrics_enriched = true;
@@ -424,6 +456,13 @@ std::string report_to_json(const TraceReport& r) {
   append_kv(out, "backpressure_stalls", r.backpressure_stalls);
   append_kv(out, "trace_dropped", r.trace_dropped);
   append_kv(out, "trace_events_omitted", r.trace_events_omitted);
+  append_kv(out, "workers_lost", r.workers_lost);
+  append_kv(out, "partition_reassigns", r.partition_reassigns);
+  append_kv(out, "pes_reassigned", r.pes_reassigned);
+  append_kv(out, "handoff_resyncs", r.handoff_resyncs);
+  append_kv(out, "membership_gen", r.membership_gen);
+  append_kv(out, "workers_live", r.workers_live);
+  append_kv(out, "workers_total", r.workers_total);
   out += "\"faults_injected\":{";
   for (std::size_t i = 0; i < kNumFaultKinds; ++i) {
     if (i) out += ',';
@@ -546,6 +585,8 @@ std::string report_to_json(const TraceReport& r) {
     append_kv(out, "remote_messages", w.remote_messages);
     append_kv(out, "retransmits", w.retransmits);
     append_kv(out, "handoff_bytes", w.handoff_bytes);
+    append_kv(out, "handoff_full_bytes", w.handoff_full_bytes);
+    append_kv(out, "handoff_delta_bytes", w.handoff_delta_bytes);
     append_kv(out, "relayed_frames", w.relayed_frames);
     append_kv(out, "relayed_bytes", w.relayed_bytes);
     append_kv(out, "telemetry_msgs", w.telemetry_msgs);
@@ -800,13 +841,35 @@ std::string report_to_text(const TraceReport& r) {
            (unsigned long long)w.telemetry_dropped,
            (long long)w.clock_offset_us, (unsigned long long)w.clock_rtt_us);
     }
-    std::uint64_t tele_drop = 0;
-    for (const WorkerRow& w : r.workers) tele_drop += w.telemetry_dropped;
+    std::uint64_t tele_drop = 0, full_b = 0, delta_b = 0;
+    for (const WorkerRow& w : r.workers) {
+      tele_drop += w.telemetry_dropped;
+      full_b += w.handoff_full_bytes;
+      delta_b += w.handoff_delta_bytes;
+    }
     if (tele_drop)
       line(out, "telemetry drops %llu (worker rings or payload cap)",
            (unsigned long long)tele_drop);
     else
       line(out, "telemetry complete: no drops");
+    if (full_b + delta_b)
+      line(out, "handoff bytes: full %llu | delta %llu (%.1f%% of full)",
+           (unsigned long long)full_b, (unsigned long long)delta_b,
+           full_b ? 100.0 * static_cast<double>(delta_b) /
+                        static_cast<double>(full_b)
+                  : 0.0);
+    if (r.membership_gen || r.workers_lost || r.handoff_resyncs ||
+        (r.workers_total && r.workers_live != r.workers_total)) {
+      line(out,
+           "membership: gen %llu | lost %llu | PEs reassigned %llu | "
+           "resyncs %llu | live %llu/%llu",
+           (unsigned long long)r.membership_gen,
+           (unsigned long long)r.workers_lost,
+           (unsigned long long)r.pes_reassigned,
+           (unsigned long long)r.handoff_resyncs,
+           (unsigned long long)r.workers_live,
+           (unsigned long long)r.workers_total);
+    }
   }
 
   line(out, "");

@@ -137,6 +137,8 @@ struct WorkerRow {
   std::uint64_t remote_messages = 0;
   std::uint64_t retransmits = 0;
   std::uint64_t handoff_bytes = 0;
+  std::uint64_t handoff_full_bytes = 0;
+  std::uint64_t handoff_delta_bytes = 0;
   std::uint64_t relayed_frames = 0;
   std::uint64_t relayed_bytes = 0;
   std::uint64_t telemetry_msgs = 0;
@@ -172,8 +174,18 @@ struct TraceReport {
   // plus events past the per-payload cap; zero on a lossless trace).
   std::uint64_t trace_dropped = 0;
   std::uint64_t trace_events_omitted = 0;
+  // Membership events (kWorkerLost / kPartitionReassign / kHandoffResync;
+  // all zero on a run with stable membership).
+  std::uint64_t workers_lost = 0;
+  std::uint64_t partition_reassigns = 0;  // recovery events, not PEs moved
+  std::uint64_t pes_reassigned = 0;       // PEs that changed owner, total
+  std::uint64_t handoff_resyncs = 0;
   // Cluster rollup (empty unless the metrics JSON carried worker rows).
   std::vector<WorkerRow> workers;
+  // Membership summary from the cluster metrics JSON (gen 0 = no loss).
+  std::uint64_t membership_gen = 0;
+  std::uint64_t workers_live = 0;
+  std::uint64_t workers_total = 0;
 };
 
 // Build the report from events in emission order (as from_jsonl returns

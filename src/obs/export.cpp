@@ -330,6 +330,33 @@ void chrome_emit_events(std::string& out, const std::vector<TraceEvent>& events,
         chrome_instant(out, pid, "trace_drop", e.ts, e.pe, args);
         break;
       }
+      case EventType::kWorkerLost: {
+        std::string args = "{\"worker\":";
+        append_u64(args, e.a);
+        args += ",\"gen\":";
+        append_u64(args, e.b);
+        args += "}";
+        chrome_instant(out, pid, "worker_lost", e.ts, e.pe, args);
+        break;
+      }
+      case EventType::kPartitionReassign: {
+        std::string args = "{\"pes_moved\":";
+        append_u64(args, e.a);
+        args += ",\"survivors\":";
+        append_u64(args, e.b);
+        args += "}";
+        chrome_instant(out, pid, "partition_reassign", e.ts, e.pe, args);
+        break;
+      }
+      case EventType::kHandoffResync: {
+        std::string args = "{\"worker\":";
+        append_u64(args, e.a);
+        args += ",\"seq\":";
+        append_u64(args, e.b);
+        args += "}";
+        chrome_instant(out, pid, "handoff_resync", e.ts, e.pe, args);
+        break;
+      }
       case EventType::kCount_:
         break;
     }

@@ -55,6 +55,11 @@ const char* counter_name(Counter c) {
     case Counter::kRelayedBytes: return "relayed_bytes";
     case Counter::kTelemetryMsgs: return "telemetry_msgs";
     case Counter::kTelemetryDropped: return "telemetry_dropped";
+    case Counter::kWorkerLost: return "worker_lost";
+    case Counter::kPartitionReassigned: return "partition_reassigned";
+    case Counter::kHandoffFullBytes: return "handoff_full_bytes";
+    case Counter::kHandoffDeltaBytes: return "handoff_delta_bytes";
+    case Counter::kHandoffResyncs: return "handoff_resyncs";
     case Counter::kCount_: break;
   }
   return "?";

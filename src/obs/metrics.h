@@ -56,6 +56,12 @@ enum class Counter : std::uint8_t {
   kRelayedBytes,       // payload bytes of those relayed frames
   kTelemetryMsgs,      // kTelemetry payloads merged by the controller
   kTelemetryDropped,   // trace events lost before merge (ring + payload cap)
+  // Dynamic membership + differential handoffs (docs/CLUSTER.md).
+  kWorkerLost,           // worker processes declared dead (EOF / deadline)
+  kPartitionReassigned,  // PEs whose owning worker changed on recovery
+  kHandoffFullBytes,     // full-snapshot handoff payload bytes
+  kHandoffDeltaBytes,    // differential handoff payload bytes
+  kHandoffResyncs,       // checksum mismatches that forced a full resync
   kCount_,
 };
 inline constexpr std::size_t kNumCounters =

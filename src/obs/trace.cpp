@@ -25,6 +25,9 @@ const char* event_name(EventType t) {
     case EventType::kBatchFlush: return "batch_flush";
     case EventType::kBackpressureStall: return "backpressure_stall";
     case EventType::kTraceDrop: return "trace_drop";
+    case EventType::kWorkerLost: return "worker_lost";
+    case EventType::kPartitionReassign: return "partition_reassign";
+    case EventType::kHandoffResync: return "handoff_resync";
     case EventType::kCount_: break;
   }
   return "?";

@@ -62,6 +62,9 @@ enum class EventType : std::uint8_t {
   kBatchFlush,       // message plane: batch flushed        pe = sender, a = #messages, b = bytes
   kBackpressureStall,// engine: spawn stalled on backlog    pe = sender, a = dst, b = backlog
   kTraceDrop,        // telemetry: events lost upstream     a = ring drops, b = payload-cap drops
+  kWorkerLost,       // membership: worker declared dead    pe = home PE, a = worker, b = new gen
+  kPartitionReassign,// membership: PEs moved to survivors  a = PEs moved, b = survivors
+  kHandoffResync,    // membership: replica checksum diverged  a = worker, b = handoff seq
   kCount_,
 };
 inline constexpr std::size_t kNumEventTypes =

@@ -5,11 +5,13 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
 
 #include "core/invariants.h"
+#include "graph/partitioner.h"
 #include "net/wire.h"
 #include "util/assert.h"
 #include "util/log.h"
@@ -48,8 +50,14 @@ ProcEngine::ProcEngine(Graph& g, ProcOptions opt)
   for (std::uint32_t w = 0; w < num_workers_; ++w) {
     slots_[w].pe_begin = begin;
     slots_[w].pe_count = base + (w < rem ? 1 : 0);
+    for (std::uint32_t i = 0; i < slots_[w].pe_count; ++i)
+      slots_[w].pes.push_back(begin + i);
     begin += slots_[w].pe_count;
   }
+  sent_seq_.assign(num_workers_, 0);
+  acked_seq_.assign(num_workers_, 0);
+  force_full_.assign(num_workers_, 1);  // first handoff is always a snapshot
+  reported_.assign(num_workers_, 0);
 
   for (PeId pe = 0; pe < g_.num_pes(); ++pe)
     pools_.push_back(std::make_unique<TaskPool>());
@@ -61,6 +69,7 @@ ProcEngine::ProcEngine(Graph& g, ProcOptions opt)
       [this](Plane p, VertexId root, std::size_t /*seeds*/) {
         NetFrame f;
         f.type = FrameType::kRescueBegin;
+        f.gen = gen_;
         f.payload = encode_rescue_begin(p, marker_->epoch(p), root,
                                         g_.at(root));
         hub_.broadcast(f);
@@ -97,8 +106,8 @@ void ProcEngine::start() {
   });
   hub_.set_worker_lost([this](std::uint32_t worker) {
     if (stopping_.load(std::memory_order_acquire)) return;
-    DGR_ERROR("worker %u lost mid-run", worker);
-    failed_.store(true, std::memory_order_release);
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    on_worker_lost(worker);
   });
 
   SocketAddr addr;
@@ -121,6 +130,17 @@ void ProcEngine::start() {
       d.reject.reason = "worker index out of range";
       return d;
     }
+    // The policy runs under the hub lock only (lock order mu_ → hub forbids
+    // taking mu_ here); dead_mask_ mirrors slot liveness for exactly this
+    // check. A fenced slot stays fenced: its partition has been reassigned,
+    // so a late reconnect would resurrect a stale replica.
+    if (reg.worker_index < 64 &&
+        (dead_mask_.load(std::memory_order_acquire) &
+         (1ull << reg.worker_index))) {
+      d.reject.code = 4;
+      d.reject.reason = "worker slot fenced after loss";
+      return d;
+    }
     d.accept = true;
     d.ack.worker_index = reg.worker_index;
     d.ack.num_workers = num_workers_;
@@ -137,6 +157,10 @@ void ProcEngine::start() {
   // usually the tightest (min-RTT) sample of the whole run. Refreshed at
   // every plane begin.
   for (std::uint32_t w = 0; w < num_workers_; ++w) send_clock_probe(w);
+
+  touch_progress();
+  if (opt_.barrier_timeout_ms > 0)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 void ProcEngine::send_clock_probe(std::uint32_t worker) {
@@ -172,6 +196,7 @@ void ProcEngine::spawn_worker(std::uint32_t worker) {
 void ProcEngine::stop() {
   if (!started_) return;
   stopping_.store(true, std::memory_order_release);
+  if (watchdog_.joinable()) watchdog_.join();
   NetFrame f;
   f.type = FrameType::kShutdown;
   hub_.broadcast(f);
@@ -200,12 +225,45 @@ void ProcEngine::stop() {
 }
 
 void ProcEngine::wait_quiescent() {
-  while (!controller_->idle() &&
+  while ((!controller_->idle() ||
+          recovering_.load(std::memory_order_acquire)) &&
          !failed_.load(std::memory_order_acquire))
     std::this_thread::yield();
 }
 
 void ProcEngine::wait_cycle_done() { wait_quiescent(); }
+
+void ProcEngine::start_cycle(const CycleOptions& opt) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  controller_->start_cycle(opt);
+}
+
+std::uint16_t ProcEngine::membership_gen() const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  return gen_;
+}
+
+std::uint32_t ProcEngine::workers_live() const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  return live_count_locked();
+}
+
+bool ProcEngine::worker_alive(std::uint32_t worker) const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  return worker < slots_.size() && slots_[worker].alive;
+}
+
+long ProcEngine::worker_pid(std::uint32_t worker) const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  return worker < slots_.size() ? slots_[worker].pid : -1;
+}
+
+std::uint32_t ProcEngine::live_count_locked() const {
+  std::uint32_t n = 0;
+  for (const WorkerSlot& s : slots_)
+    if (s.alive) ++n;
+  return n;
+}
 
 void ProcEngine::inject(Task t) {
   std::lock_guard<std::recursive_mutex> lk(mu_);
@@ -218,14 +276,43 @@ void ProcEngine::on_plane_begin(Plane p) {
   // exactly the state the replicas must copy. kPlaneBegin (with the bumped
   // epoch) follows at the first seed spawn; per-connection FIFO queues keep
   // the order handoff → begin → seed on every worker's wire.
+  tracker_.scan(g_);
+  ++handoff_count_;
+  const bool periodic = opt_.full_handoff_period != 0 &&
+                        handoff_count_ % opt_.full_handoff_period == 0;
+  std::vector<std::uint8_t> owned(g_.num_pes(), 0);
   for (std::uint32_t w = 0; w < num_workers_; ++w) {
+    if (!slots_[w].alive) continue;
+    std::fill(owned.begin(), owned.end(), std::uint8_t{0});
+    for (PeId pe : slots_[w].pes) owned[pe] = 1;
+    // An unacked previous handoff (sent ≠ acked) forces a snapshot too: the
+    // delta baseline would be the controller's guess, not the worker's view.
+    const bool force = periodic || force_full_[w] != 0 ||
+                       sent_seq_[w] != acked_seq_[w];
+    std::uint8_t kind = kHandoffFull;
     NetFrame f;
     f.type = FrameType::kHandoff;
-    f.payload = encode_handoff(g_, slots_[w].pe_begin, slots_[w].pe_count);
-    stats_.handoff_bytes += f.payload.size();
+    f.gen = gen_;
+    f.payload = tracker_.encode(g_, owned, acked_seq_[w], force, &kind);
+    const std::uint64_t bytes = f.payload.size();
+    stats_.handoff_bytes += bytes;
     ++stats_.handoffs_sent;
-    metrics_.add(slots_[w].pe_begin, obs::Counter::kHandoffBytes,
-                 f.payload.size());
+    slots_[w].handoff_bytes += bytes;
+    const PeId home = home_pe(w);
+    if (kind == kHandoffDelta) {
+      ++stats_.handoffs_delta;
+      stats_.handoff_delta_bytes += bytes;
+      slots_[w].handoff_delta_bytes += bytes;
+      metrics_.add(home, obs::Counter::kHandoffDeltaBytes, bytes);
+    } else {
+      ++stats_.handoffs_full;
+      stats_.handoff_full_bytes += bytes;
+      slots_[w].handoff_full_bytes += bytes;
+      metrics_.add(home, obs::Counter::kHandoffFullBytes, bytes);
+    }
+    metrics_.add(home, obs::Counter::kHandoffBytes, bytes);
+    sent_seq_[w] = tracker_.seq();
+    force_full_[w] = 0;
     hub_.send_to_worker(w, f);
     send_clock_probe(w);
   }
@@ -243,6 +330,7 @@ void ProcEngine::spawn(Task t) {
     begin_pending_ = false;
     NetFrame bf;
     bf.type = FrameType::kPlaneBegin;
+    bf.gen = gen_;
     bf.payload =
         encode_plane_signal(begin_plane_, marker_->epoch(begin_plane_));
     hub_.broadcast(bf);
@@ -250,6 +338,7 @@ void ProcEngine::spawn(Task t) {
   }
   NetFrame f;
   f.type = FrameType::kSeed;
+  f.gen = gen_;
   f.src = t.s.valid() && !t.s.is_rootpar() ? t.s.pe : t.d.pe;
   f.dst = t.d.pe;
   f.payload = encode_task(t);
@@ -259,6 +348,10 @@ void ProcEngine::spawn(Task t) {
 
 void ProcEngine::handle_control(std::uint32_t worker, NetFrame f) {
   std::lock_guard<std::recursive_mutex> lk(mu_);
+  // A fenced worker's frames may still drain out of the hub queue after the
+  // loss was declared (or after the watchdog dropped it); they are void.
+  if (worker >= slots_.size() || !slots_[worker].alive) return;
+  touch_progress();
   switch (f.type) {
     case FrameType::kPlaneDone: {
       Plane plane;
@@ -270,7 +363,8 @@ void ProcEngine::handle_control(std::uint32_t worker, NetFrame f) {
       }
       // Stale or duplicate termination reports are ignorable: each wave's
       // rootpar return is observed by exactly one worker, but a retransmit
-      // path could replay the frame.
+      // path could replay the frame — and an aborted wave can leave one in
+      // flight across a membership fence.
       if (!marker_->active(plane) || epoch != marker_->epoch(plane) ||
           collecting_)
         return;
@@ -278,15 +372,31 @@ void ProcEngine::handle_control(std::uint32_t worker, NetFrame f) {
       collect_plane_ = plane;
       collect_epoch_ = epoch;
       reports_in_ = 0;
+      reported_.assign(num_workers_, 0);
       collect_stats_.reset();
       NetFrame q;
       q.type = FrameType::kQuiesce;
+      q.gen = gen_;
       q.payload = encode_plane_signal(plane, epoch);
       hub_.broadcast(q);
       return;
     }
     case FrameType::kMarkReport: {
       if (!collecting_) return;  // late duplicate
+      {
+        // Peek the report's plane/epoch before merging: a wave aborted by a
+        // membership fence leaves reports in flight that reach here after
+        // the next wave opened collection. Those are stale, not malformed —
+        // drop them silently (apply_mark_report would reject the mismatch,
+        // and treating that as fatal would fail every recovery).
+        ByteReader r(f.payload);
+        const std::uint8_t p = r.u8();
+        const std::uint64_t epoch = r.u64();
+        if (!r.ok() || static_cast<Plane>(p) != collect_plane_ ||
+            epoch != collect_epoch_)
+          return;
+      }
+      if (reported_[worker]) return;  // duplicate within the wave
       MarkStats s;
       if (!apply_mark_report(f.payload, g_, collect_plane_, collect_epoch_,
                              s)) {
@@ -294,13 +404,14 @@ void ProcEngine::handle_control(std::uint32_t worker, NetFrame f) {
         failed_.store(true, std::memory_order_release);
         return;
       }
+      reported_[worker] = 1;
       collect_stats_.marks += s.marks.load(std::memory_order_relaxed);
       collect_stats_.returns += s.returns.load(std::memory_order_relaxed);
       collect_stats_.remarks += s.remarks.load(std::memory_order_relaxed);
       collect_stats_.coop_spawns +=
           s.coop_spawns.load(std::memory_order_relaxed);
       ++stats_.reports_merged;
-      if (++reports_in_ < num_workers_) return;
+      if (++reports_in_ < live_count_locked()) return;
       // Every partition's marks are in the authoritative graph: adopt the
       // remote termination. The controller cascade continues from here —
       // rescue wave, the M_R plane, or the restructuring phase — still under
@@ -308,6 +419,32 @@ void ProcEngine::handle_control(std::uint32_t worker, NetFrame f) {
       collecting_ = false;
       marker_->add_remote_stats(collect_plane_, collect_stats_);
       marker_->finish_remote(collect_plane_);
+      return;
+    }
+    case FrameType::kHandoffAck: {
+      HandoffAckMsg ack;
+      if (!decode_handoff_ack(f.payload, ack)) {
+        DGR_ERROR("worker %u: malformed kHandoffAck", worker);
+        failed_.store(true, std::memory_order_release);
+        return;
+      }
+      if (ack.ok) {
+        if (ack.seq > acked_seq_[worker]) acked_seq_[worker] = ack.seq;
+        return;
+      }
+      // Checksum mismatch: the replica diverged from the authoritative
+      // structure. Fence the membership generation (voiding the wave the
+      // bad replica may already be marking) and force a full resync; the
+      // worker itself keeps its slot — unlike a loss, no repartition.
+      DGR_ERROR("worker %u: handoff %llu checksum mismatch, forcing resync",
+                worker, (unsigned long long)ack.seq);
+      ++stats_.handoff_resyncs;
+      metrics_.add(home_pe(worker), obs::Counter::kHandoffResyncs);
+      DGR_TRACE_EVENT(trace_.get(), obs::EventType::kHandoffResync,
+                      Plane::kR, home_pe(worker), worker, ack.seq);
+      acked_seq_[worker] = 0;
+      force_full_[worker] = 1;
+      fence_and_restart();
       return;
     }
     case FrameType::kTelemetry: {
@@ -333,10 +470,10 @@ void ProcEngine::handle_control(std::uint32_t worker, NetFrame f) {
       ++t.telemetry_msgs;
       t.ring_dropped += m.ring_dropped;
       t.events_omitted += m.events_omitted;
-      metrics_.add(slots_[worker].pe_begin, obs::Counter::kTelemetryMsgs);
+      metrics_.add(home_pe(worker), obs::Counter::kTelemetryMsgs);
       const std::uint64_t lost = m.ring_dropped + m.events_omitted;
       if (lost)
-        metrics_.add(slots_[worker].pe_begin, obs::Counter::kTelemetryDropped,
+        metrics_.add(home_pe(worker), obs::Counter::kTelemetryDropped,
                      lost);
       auto& ev = worker_events_[worker];
       ev.insert(ev.end(), m.events.begin(), m.events.end());
@@ -365,6 +502,168 @@ void ProcEngine::handle_control(std::uint32_t worker, NetFrame f) {
       DGR_ERROR("worker %u: unexpected control frame %s", worker,
                 frame_type_name(f.type));
       failed_.store(true, std::memory_order_release);
+  }
+}
+
+void ProcEngine::on_worker_lost(std::uint32_t worker) {
+  // Caller holds mu_. Runs on the dead connection's hub reader thread (its
+  // last act before exiting), or recursively via a watchdog-forced drop.
+  if (worker >= slots_.size() || !slots_[worker].alive) return;
+  WorkerSlot& s = slots_[worker];
+  s.alive = false;
+  if (worker < 64)
+    dead_mask_.fetch_or(1ull << worker, std::memory_order_release);
+  ++stats_.workers_lost;
+  const PeId home = home_pe(worker);
+  metrics_.add(home, obs::Counter::kWorkerLost);
+  const std::uint32_t live = live_count_locked();
+  if (live == 0) {
+    DGR_ERROR("worker %u lost; no survivors, run failed", worker);
+    failed_.store(true, std::memory_order_release);
+    return;
+  }
+  DGR_ERROR("worker %u lost (gen %u → %u); repartitioning %zu PEs onto %u "
+            "survivors",
+            worker, (unsigned)gen_, (unsigned)(gen_ + 1), s.pes.size(), live);
+  DGR_TRACE_EVENT(trace_.get(), obs::EventType::kWorkerLost, Plane::kR, home,
+                  worker, gen_ + 1);
+  recovering_.store(true, std::memory_order_release);
+  repartition_onto_survivors();
+  fence_and_restart();
+  recovering_.store(false, std::memory_order_release);
+}
+
+void ProcEngine::repartition_onto_survivors() {
+  // Caller holds mu_. Reassign ALL PEs across the survivors with the same
+  // pluggable partitioner the workload builders use, in PE space: each PE is
+  // a "position", each surviving worker a "bin", and cross-PE args supply
+  // the adjacency (duplicates act as edge weights — the greedy placer sees
+  // hot PE pairs more often and co-locates them).
+  std::vector<std::uint32_t> survivors;
+  for (std::uint32_t w = 0; w < num_workers_; ++w)
+    if (slots_[w].alive) survivors.push_back(w);
+  DGR_CHECK(!survivors.empty());
+  const std::uint32_t P = g_.num_pes();
+  std::vector<IndexEdge> edges;
+  g_.for_each_live([&](VertexId v) {
+    for (const ArgEdge& e : g_.at(v).args)
+      if (e.to.valid() && e.to.pe != v.pe)
+        edges.push_back(IndexEdge{v.pe, e.to.pe});
+  });
+  const auto part = make_partitioner(PartitionStrategy::kGreedy);
+  const auto bins = static_cast<std::uint32_t>(survivors.size());
+  const std::uint32_t cap = (P + bins - 1) / bins;
+  const std::vector<PeId> asg = part->assign(P, bins, edges, cap);
+
+  std::vector<std::uint32_t> prev_owner(P, kAnyWorkerIndex);
+  for (std::uint32_t w = 0; w < num_workers_; ++w)
+    for (PeId pe : slots_[w].pes) prev_owner[pe] = w;
+  for (std::uint32_t w = 0; w < num_workers_; ++w) slots_[w].pes.clear();
+  std::uint64_t moved = 0;
+  for (PeId pe = 0; pe < P; ++pe) {
+    const std::uint32_t w = survivors[asg[pe]];
+    slots_[w].pes.push_back(pe);
+    hub_.set_endpoint_owner(pe, w);
+    if (prev_owner[pe] != w) ++moved;
+  }
+  stats_.partitions_reassigned += moved;
+  metrics_.add(home_pe(survivors[0]), obs::Counter::kPartitionReassigned,
+               moved);
+  DGR_TRACE_EVENT(trace_.get(), obs::EventType::kPartitionReassign, Plane::kR,
+                  0, moved, survivors.size());
+}
+
+void ProcEngine::fence_and_restart() {
+  // Caller holds mu_. Bump the membership generation and broadcast the
+  // fence; per-connection FIFO guarantees every survivor sees it before any
+  // frame of the restarted wave, and receivers void kData/kSeed stamped with
+  // the old generation — no ack round is needed.
+  ++gen_;
+  NetFrame fence;
+  fence.type = FrameType::kEpochFence;
+  fence.gen = gen_;
+  hub_.broadcast(fence);
+  // Ownership may have changed and the workers' delta baselines are no
+  // longer trusted across a fence: next handoff is a snapshot for everyone.
+  for (std::uint32_t w = 0; w < num_workers_; ++w) {
+    force_full_[w] = 1;
+    acked_seq_[w] = 0;
+    sent_seq_[w] = 0;
+  }
+  collecting_ = false;
+  begin_pending_ = false;
+  reported_.assign(num_workers_, 0);
+  probing_ = false;
+  touch_progress();
+  ++stats_.recoveries;
+  if (!controller_->idle()) {
+    // Resume from the last completed quiesce: abandon the in-flight cycle
+    // (stale marks are voided by the epoch bump of the restart) and re-run
+    // it with the same options. start_cycle re-enters on_plane_begin/spawn
+    // recursively under mu_, so the whole restart is atomic with the fence.
+    const CycleOptions opt = controller_->current_options();
+    controller_->abort_cycle();
+    controller_->start_cycle(opt);
+  }
+}
+
+void ProcEngine::watchdog_loop() {
+  const auto window_us =
+      static_cast<std::uint64_t>(opt_.barrier_timeout_ms) * 1000;
+  const auto poll = std::chrono::milliseconds(
+      std::max(1, std::min(opt_.barrier_timeout_ms / 4, 50)));
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(poll);
+    std::vector<std::uint32_t> to_drop;
+    {
+      std::lock_guard<std::recursive_mutex> lk(mu_);
+      if (failed_.load(std::memory_order_acquire)) return;
+      if (controller_->idle()) {
+        probing_ = false;
+        continue;
+      }
+      const std::uint64_t now = now_us();
+      if (!probing_) {
+        if (now - last_progress_us_.load(std::memory_order_acquire) <
+            window_us)
+          continue;
+        // First deadline: the cycle stalled. Probe every live worker (clock
+        // probes double as liveness pings) and snapshot their echo counts;
+        // the verdict comes one window later. probing_ is NOT reset by
+        // progress touches — one chatty worker must not mask another's
+        // death behind a moving deadline.
+        probing_ = true;
+        probe_deadline_us_ = now + window_us;
+        probe_snapshot_.assign(num_workers_, 0);
+        for (std::uint32_t w = 0; w < num_workers_; ++w) {
+          if (!slots_[w].alive) continue;
+          probe_snapshot_[w] = clock_[w].samples();
+          send_clock_probe(w);
+        }
+        continue;
+      }
+      if (now < probe_deadline_us_) continue;
+      // Second deadline: drop workers that neither echoed the probe nor
+      // reported for the wave being collected. Covers a worker that dies
+      // between registration and its first mark report (no frame of its
+      // ever arrives) and a wedged-but-connected process alike.
+      for (std::uint32_t w = 0; w < num_workers_; ++w) {
+        if (!slots_[w].alive) continue;
+        const bool echoed = clock_[w].samples() > probe_snapshot_[w];
+        const bool reported = collecting_ && reported_[w];
+        if (!echoed && !reported) to_drop.push_back(w);
+      }
+      probing_ = false;
+      touch_progress();
+    }
+    for (std::uint32_t w : to_drop) {
+      DGR_ERROR("watchdog: worker %u missed the quiesce-barrier deadline, "
+                "dropping",
+                w);
+      // Forces EOF on the connection; the reader thread then runs the same
+      // on_worker_lost path a crashed worker would.
+      hub_.drop_worker(w);
+    }
   }
 }
 
@@ -495,17 +794,16 @@ std::uint64_t ProcEngine::clock_samples(std::uint32_t worker) const {
 std::string ProcEngine::cluster_metrics_json() const {
   std::lock_guard<std::recursive_mutex> lk(mu_);
   const std::vector<SocketHub::RelayCount> relay = hub_.relay_by_worker();
-  // Per-worker sums over the owned PE range of the merged registry.
+  // Per-worker sums over the (possibly non-contiguous) owned PE set of the
+  // merged registry.
   auto range_sum = [&](std::uint32_t w, obs::Counter c) {
     std::uint64_t n = 0;
-    for (std::uint32_t pe = slots_[w].pe_begin;
-         pe < slots_[w].pe_begin + slots_[w].pe_count; ++pe)
-      n += metrics_.get(pe, c);
+    for (PeId pe : slots_[w].pes) n += metrics_.get(pe, c);
     return n;
   };
   std::string out = metrics_.to_json();
   out.pop_back();  // reopen the registry object to append the rollup
-  char buf[512];
+  char buf[640];
   std::snprintf(buf, sizeof(buf), ",\"num_workers\":%u,\"workers\":[",
                 num_workers_);
   out += buf;
@@ -514,19 +812,23 @@ std::string ProcEngine::cluster_metrics_json() const {
     const std::uint64_t rb = w < relay.size() ? relay[w].bytes : 0;
     std::snprintf(
         buf, sizeof(buf),
-        "%s{\"worker\":%u,\"pe_begin\":%u,\"pe_count\":%u,"
+        "%s{\"worker\":%u,\"pe_begin\":%u,\"pe_count\":%u,\"alive\":%s,"
         "\"marks\":%llu,\"returns\":%llu,\"remote_messages\":%llu,"
         "\"retransmits\":%llu,\"handoff_bytes\":%llu,"
+        "\"handoff_full_bytes\":%llu,\"handoff_delta_bytes\":%llu,"
         "\"relayed_frames\":%llu,\"relayed_bytes\":%llu,"
         "\"telemetry_msgs\":%llu,\"telemetry_dropped\":%llu,"
         "\"clock_offset_us\":%lld,\"clock_rtt_us\":%llu}",
-        w == 0 ? "" : ",", w, slots_[w].pe_begin, slots_[w].pe_count,
+        w == 0 ? "" : ",", w, slots_[w].pe_begin,
+        static_cast<std::uint32_t>(slots_[w].pes.size()),
+        slots_[w].alive ? "true" : "false",
         (unsigned long long)range_sum(w, obs::Counter::kMarkTasks),
         (unsigned long long)range_sum(w, obs::Counter::kReturnTasks),
         (unsigned long long)range_sum(w, obs::Counter::kRemoteMessages),
         (unsigned long long)range_sum(w, obs::Counter::kMsgRetransmit),
-        (unsigned long long)metrics_.get(slots_[w].pe_begin,
-                                         obs::Counter::kHandoffBytes),
+        (unsigned long long)slots_[w].handoff_bytes,
+        (unsigned long long)slots_[w].handoff_full_bytes,
+        (unsigned long long)slots_[w].handoff_delta_bytes,
         (unsigned long long)rf, (unsigned long long)rb,
         (unsigned long long)tele_[w].telemetry_msgs,
         (unsigned long long)(tele_[w].ring_dropped +
@@ -535,7 +837,22 @@ std::string ProcEngine::cluster_metrics_json() const {
         (unsigned long long)clock_[w].rtt_us());
     out += buf;
   }
-  out += "]}";
+  out += "]";
+  std::snprintf(
+      buf, sizeof(buf),
+      ",\"membership\":{\"gen\":%u,\"workers_total\":%u,\"workers_live\":%u,"
+      "\"worker_lost\":%llu,\"partition_reassigned\":%llu,"
+      "\"handoff_resyncs\":%llu,\"recoveries\":%llu,"
+      "\"handoffs_full\":%llu,\"handoffs_delta\":%llu}",
+      (unsigned)gen_, num_workers_, live_count_locked(),
+      (unsigned long long)stats_.workers_lost,
+      (unsigned long long)stats_.partitions_reassigned,
+      (unsigned long long)stats_.handoff_resyncs,
+      (unsigned long long)stats_.recoveries,
+      (unsigned long long)stats_.handoffs_full,
+      (unsigned long long)stats_.handoffs_delta);
+  out += buf;
+  out += "}";
   return out;
 }
 

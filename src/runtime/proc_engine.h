@@ -29,6 +29,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/controller.h"
@@ -51,6 +52,15 @@ struct ProcOptions {
   // then to "dgr_worker" on PATH.
   std::string worker_bin;
   int register_timeout_ms = 10000;
+  // Every Nth handoff per worker is a full snapshot even when a delta would
+  // do — bounds how long a silent divergence could go unnoticed between
+  // checksum handshakes. 0 disables the periodic fallback.
+  std::uint32_t full_handoff_period = 64;
+  // Quiesce-barrier watchdog: when a cycle makes no control-plane progress
+  // for this long, silent workers are probed and — after one more window —
+  // dropped (they surface as worker_lost instead of hanging the barrier).
+  // 0 disables the watchdog.
+  int barrier_timeout_ms = 10000;
   // Worker-side message plane (worker↔worker marks). Faults imply the
   // reliable channel, mirroring NetOptions::enabled().
   FaultSpec faults;
@@ -63,10 +73,19 @@ struct ProcOptions {
 struct ProcEngineStats {
   std::uint64_t planes_started = 0;   // kPlaneBegin broadcasts
   std::uint64_t handoffs_sent = 0;    // kHandoff frames
-  std::uint64_t handoff_bytes = 0;    // their payload bytes
+  std::uint64_t handoff_bytes = 0;    // their payload bytes (full + delta)
+  std::uint64_t handoffs_full = 0;    // full-snapshot kHandoff frames
+  std::uint64_t handoffs_delta = 0;   // differential kHandoff frames
+  std::uint64_t handoff_full_bytes = 0;
+  std::uint64_t handoff_delta_bytes = 0;
   std::uint64_t seeds_sent = 0;       // kSeed frames
   std::uint64_t rescue_begins = 0;    // kRescueBegin broadcasts
   std::uint64_t reports_merged = 0;   // kMarkReports folded into the graph
+  // Dynamic membership (docs/CLUSTER.md "Membership and failure model").
+  std::uint64_t workers_lost = 0;        // processes declared dead
+  std::uint64_t partitions_reassigned = 0;  // PEs that changed owner
+  std::uint64_t handoff_resyncs = 0;     // checksum-forced full resyncs
+  std::uint64_t recoveries = 0;          // aborted + restarted cycles
   TransportStats transport;           // hub-side socket counters
 };
 
@@ -91,12 +110,29 @@ class ProcEngine final : public TaskSink, public EngineHooks {
   // Broadcast kShutdown, reap the children (SIGKILL stragglers), close.
   void stop();
 
-  // Block until the controller is idle (no cycle in progress).
+  // Start a marking cycle under the engine lock. Use this instead of
+  // controller().start_cycle() in multi-process runs: it excludes the
+  // membership-recovery path (a worker-lost callback on a hub reader thread)
+  // from racing the cycle's task-root construction.
+  void start_cycle(const CycleOptions& opt = {});
+
+  // Block until the controller is idle (no cycle in progress) and no
+  // membership recovery is mid-flight.
   void wait_quiescent();
   void wait_cycle_done();
 
-  // A worker process died mid-run (the cycle cannot complete).
+  // Every worker process died (no survivors — the run cannot continue).
+  // A single lost worker no longer fails the run: the engine repartitions
+  // its PEs onto the survivors and resumes from the last completed quiesce.
   bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  // ---- Dynamic membership introspection ----
+  // Current membership generation (0 until the first loss/resync fence).
+  std::uint16_t membership_gen() const;
+  std::uint32_t workers_live() const;
+  bool worker_alive(std::uint32_t worker) const;
+  // The worker's OS pid (test hook: chaos legs SIGKILL it), -1 once reaped.
+  long worker_pid(std::uint32_t worker) const;
 
   // Inject an inert reduction task into its destination pool.
   void inject(Task t);
@@ -158,14 +194,36 @@ class ProcEngine final : public TaskSink, public EngineHooks {
 
  private:
   struct WorkerSlot {
-    PeId pe_begin = 0;
+    PeId pe_begin = 0;            // initial contiguous block (registration)
     std::uint32_t pe_count = 0;
+    std::vector<PeId> pes;        // current owned set; rewritten on recovery
+    bool alive = true;
     long pid = -1;
+    // Per-worker handoff accounting (survives repartitions, unlike the
+    // per-PE registry attribution).
+    std::uint64_t handoff_bytes = 0;
+    std::uint64_t handoff_full_bytes = 0;
+    std::uint64_t handoff_delta_bytes = 0;
   };
 
   WorkerConfig make_config(std::uint32_t worker) const;
   void spawn_worker(std::uint32_t worker);
   void handle_control(std::uint32_t worker, NetFrame f);
+  // Membership recovery (all under mu_). on_worker_lost runs on the dead
+  // connection's hub reader thread; fence_and_restart is shared with the
+  // checksum-resync path (which skips the repartition).
+  void on_worker_lost(std::uint32_t worker);
+  void repartition_onto_survivors();
+  void fence_and_restart();
+  std::uint32_t live_count_locked() const;
+  PeId home_pe(std::uint32_t worker) const {
+    return slots_[worker].pes.empty() ? slots_[worker].pe_begin
+                                      : slots_[worker].pes.front();
+  }
+  void watchdog_loop();
+  void touch_progress() {
+    last_progress_us_.store(now_us(), std::memory_order_release);
+  }
   // One Cristian probe (kClockProbe); the echo feeds clock_[worker]. Sent to
   // every worker after registration and again at each plane begin, so the
   // estimate tightens as the run warms up (min-RTT sample wins).
@@ -208,7 +266,36 @@ class ProcEngine final : public TaskSink, public EngineHooks {
   Plane collect_plane_ = Plane::kR;
   std::uint64_t collect_epoch_ = 0;
   std::uint32_t reports_in_ = 0;
+  std::vector<std::uint8_t> reported_;  // per-worker dedup for this wave
   MarkStats collect_stats_;
+
+  // ---- Dynamic membership ----
+  // Generation is bumped (and fenced via kEpochFence) whenever membership
+  // changes; every outgoing frame is stamped with it and workers void any
+  // kData/kSeed carrying a stale one. Guarded by mu_ like the rest of the
+  // control plane; dead_mask_ mirrors slot liveness for the registration
+  // policy, which runs under the hub lock only (lock order: mu_ → hub).
+  std::uint16_t gen_ = 0;
+  std::atomic<std::uint64_t> dead_mask_{0};
+  std::atomic<bool> recovering_{false};
+
+  // ---- Differential handoffs ----
+  HandoffTracker tracker_;
+  std::vector<std::uint64_t> sent_seq_;   // last handoff seq shipped per worker
+  std::vector<std::uint64_t> acked_seq_;  // last seq checksum-acked per worker
+  std::vector<std::uint8_t> force_full_;  // next handoff must be a snapshot
+  std::uint64_t handoff_count_ = 0;       // plane-begins, for the periodic full
+
+  // ---- Quiesce-barrier watchdog ----
+  // Two-deadline protocol: a stall first sends clock probes (cheap liveness
+  // pings) and snapshots per-worker echo counts; workers that neither echo
+  // nor report by the second deadline are dropped. probing_ survives progress
+  // touches so one chatty worker cannot mask another's death.
+  std::thread watchdog_;
+  std::atomic<std::uint64_t> last_progress_us_{0};
+  bool probing_ = false;                     // guarded by mu_
+  std::vector<std::uint64_t> probe_snapshot_;  // clock samples at probe time
+  std::uint64_t probe_deadline_us_ = 0;
 
   std::vector<std::unique_ptr<TaskPool>> pools_;
 

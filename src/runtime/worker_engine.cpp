@@ -3,6 +3,7 @@
 #include <poll.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -23,9 +24,20 @@ WorkerEngine::WorkerEngine(Socket sock, FrameCodec codec,
       marker_(g_, *this),
       t0_(std::chrono::steady_clock::now()),
       reg_(cfg.num_pes) {
-  prev_counters_.resize(cfg_.pe_count);
+  owned_.assign(cfg_.num_pes, 0);
+  for (std::uint32_t pe = cfg_.pe_begin; pe < cfg_.pe_begin + cfg_.pe_count;
+       ++pe)
+    owned_[pe] = 1;
+  rebuild_owned_list();
+  if (const char* env = std::getenv("DGR_TEST_CORRUPT_HANDOFF")) {
+    unsigned w = 0;
+    unsigned long long n = 0;
+    if (std::sscanf(env, "%u:%llu", &w, &n) == 2 && w == index_)
+      corrupt_after_ = n;
+  }
+  prev_counters_.resize(cfg_.num_pes);
   for (auto& row : prev_counters_) row.fill(0);
-  prev_hists_.resize(static_cast<std::size_t>(cfg_.pe_count) * obs::kNumHists);
+  prev_hists_.resize(static_cast<std::size_t>(cfg_.num_pes) * obs::kNumHists);
 #if DGR_TRACE_ENABLED
   if (cfg_.trace_enabled) {
     trace_ = std::make_unique<obs::TraceBuffer>(cfg_.trace_capacity);
@@ -43,6 +55,18 @@ WorkerEngine::WorkerEngine(Socket sock, FrameCodec codec,
     f.payload = encode_plane_signal(p, marker_.epoch(p));
     send_frame(f);
   });
+  init_message_plane();
+}
+
+void WorkerEngine::rebuild_owned_list() {
+  owned_list_.clear();
+  for (PeId pe = 0; pe < owned_.size(); ++pe)
+    if (owned_[pe]) owned_list_.push_back(pe);
+}
+
+void WorkerEngine::init_message_plane() {
+  fault_.reset();
+  chan_.reset();
   if (cfg_.faults.any()) {
     FaultPlaneOptions fopt;
     fopt.seed = cfg_.fault_seed;
@@ -120,6 +144,7 @@ void WorkerEngine::send_data(PeId src, PeId dst,
                              std::vector<std::uint8_t> bytes) {
   NetFrame f;
   f.type = FrameType::kData;
+  f.gen = gen_;  // receivers void anything from before their last fence
   f.src = src;
   f.dst = dst;
   f.payload = std::move(bytes);
@@ -166,7 +191,7 @@ void WorkerEngine::drain_local() {
 void WorkerEngine::service_channel() {
   if (!chan_) return;
   const std::uint64_t now = now_us();
-  for (PeId pe = cfg_.pe_begin; pe < cfg_.pe_begin + cfg_.pe_count; ++pe) {
+  for (PeId pe : owned_list_) {
     chan_->flush(pe, now);
     chan_->service(pe, now);
   }
@@ -176,20 +201,22 @@ void WorkerEngine::send_telemetry(Plane plane, std::uint64_t epoch) {
   TelemetryMsg m;
   m.plane = plane;
   m.epoch = epoch;
-  m.pe_begin = cfg_.pe_begin;
-  m.pe_count = cfg_.pe_count;
-  for (std::uint32_t i = 0; i < cfg_.pe_count; ++i) {
-    const std::uint32_t pe = cfg_.pe_begin + i;
+  m.pe_begin = owned_list_.empty() ? cfg_.pe_begin : owned_list_.front();
+  m.pe_count = static_cast<std::uint32_t>(owned_list_.size());
+  // Deltas are cut over every PE this worker has ever touched, not just the
+  // currently-owned set: a repartition can move a PE away between quiesces,
+  // and its residual counts must still ship once. Baselines are full-width.
+  for (std::uint32_t pe = 0; pe < cfg_.num_pes; ++pe) {
     for (std::size_t c = 0; c < obs::kNumCounters; ++c) {
       const std::uint64_t cur = reg_.get(pe, static_cast<obs::Counter>(c));
-      const std::uint64_t delta = cur - prev_counters_[i][c];
+      const std::uint64_t delta = cur - prev_counters_[pe][c];
       if (!delta) continue;
       m.counters.push_back({pe, static_cast<std::uint8_t>(c), delta});
-      prev_counters_[i][c] = cur;
+      prev_counters_[pe][c] = cur;
     }
     for (std::size_t h = 0; h < obs::kNumHists; ++h) {
       Histogram cur = reg_.hist(pe, static_cast<obs::Hist>(h));
-      Histogram& prev = prev_hists_[i * obs::kNumHists + h];
+      Histogram& prev = prev_hists_[pe * obs::kNumHists + h];
       TelemetryMsg::HistDelta hd;
       hd.pe = pe;
       hd.hist = static_cast<std::uint8_t>(h);
@@ -244,22 +271,83 @@ void WorkerEngine::send_mark_report(Plane plane, std::uint64_t epoch) {
   NetFrame f;
   f.type = FrameType::kMarkReport;
   f.src = cfg_.pe_begin;
-  f.payload = encode_mark_report(g_, plane, epoch, cfg_.pe_begin,
-                                 cfg_.pe_count, marker_.stats(plane));
+  // A desynced replica skipped this wave's begin, so no mark carries the
+  // wave's epoch — the report is naturally empty, but the stale wave
+  // counters must not ride along with it.
+  f.payload = encode_mark_report(g_, plane, epoch, owned_list_,
+                                 desync_ ? MarkStats{} : marker_.stats(plane));
+  send_frame(f);
+}
+
+void WorkerEngine::send_handoff_ack(std::uint64_t seq, bool ok) {
+  HandoffAckMsg ack;
+  ack.seq = seq;
+  ack.ok = ok;
+  NetFrame f;
+  f.type = FrameType::kHandoffAck;
+  f.src = cfg_.pe_begin;
+  f.payload = encode_handoff_ack(ack);
   send_frame(f);
 }
 
 bool WorkerEngine::handle_frame(NetFrame f) {
   switch (f.type) {
     case FrameType::kHandoff: {
-      if (!apply_handoff(f.payload, g_)) {
-        DGR_ERROR("worker %u: malformed handoff", index_);
-        fatal_ = true;
-        return false;
+      HandoffMsg msg;
+      if (!apply_handoff(f.payload, g_, owned_, msg)) {
+        // A delta that disagrees with the replica's shape (or a torn
+        // payload): nack and wait for the fence + full resync rather than
+        // dying — the controller treats the nack exactly like a checksum
+        // mismatch.
+        DGR_ERROR("worker %u: handoff %llu failed to apply, requesting "
+                  "resync",
+                  index_, (unsigned long long)msg.seq);
+        desync_ = true;
+        send_handoff_ack(msg.seq, false);
+        return true;
       }
+      rebuild_owned_list();
+      ++applies_;
+      if (corrupt_after_ != 0 && applies_ == corrupt_after_) {
+        // Test hook: structurally corrupt one owned live vertex so the
+        // checksum below disagrees — the deterministic divergence the
+        // resync tests drive.
+        for (PeId pe : owned_list_) {
+          Store& st = g_.store(pe);
+          bool done = false;
+          for (std::uint32_t i = 0; i < st.capacity() && !done; ++i) {
+            if (!st.at(i).live) continue;
+            st.at(i).aux = !st.at(i).aux;
+            done = true;
+          }
+          if (done) break;
+        }
+      }
+      const bool ok = handoff_checksum(g_, owned_) == msg.checksum;
+      if (!ok) {
+        DGR_ERROR("worker %u: handoff %llu checksum mismatch (replica "
+                  "diverged), requesting resync",
+                  index_, (unsigned long long)msg.seq);
+      }
+      desync_ = !ok;
+      send_handoff_ack(msg.seq, ok);
+      return true;
+    }
+    case FrameType::kEpochFence: {
+      // Membership changed: adopt the new generation (voiding every kData /
+      // kSeed still in flight from before the fence), abandon whatever wave
+      // was running, and reset the worker↔worker message plane — all
+      // survivors do the same on their copy of this fence, so sequence
+      // spaces restart consistently cluster-wide.
+      gen_ = f.gen;
+      marker_.abort(Plane::kR);
+      marker_.abort(Plane::kT);
+      q_.clear();
+      init_message_plane();
       return true;
     }
     case FrameType::kPlaneBegin: {
+      if (desync_) return true;  // resync pending; skip the wave
       Plane plane;
       std::uint64_t epoch = 0;
       if (!decode_plane_signal(f.payload, plane, epoch)) {
@@ -270,6 +358,7 @@ bool WorkerEngine::handle_frame(NetFrame f) {
       return true;
     }
     case FrameType::kRescueBegin: {
+      if (desync_) return true;
       Plane plane;
       std::uint64_t epoch = 0;
       if (!apply_rescue_begin(f.payload, g_, plane, epoch)) {
@@ -280,10 +369,12 @@ bool WorkerEngine::handle_frame(NetFrame f) {
       return true;
     }
     case FrameType::kSeed: {
+      if (desync_ || f.gen != gen_) return true;  // pre-fence traffic: void
       exec_local(decode_task(f.payload));
       return true;
     }
     case FrameType::kData: {
+      if (desync_ || f.gen != gen_) return true;  // pre-fence traffic: void
       if (chan_) {
         for (auto& payload : chan_->on_frame(f.dst, f.payload, now_us())) {
           const std::optional<Task> t = try_decode_task(payload);

@@ -57,9 +57,7 @@ class WorkerEngine final : public TaskSink {
   void spawn(Task t) override;
 
  private:
-  bool owns(PeId pe) const {
-    return pe >= cfg_.pe_begin && pe < cfg_.pe_begin + cfg_.pe_count;
-  }
+  bool owns(PeId pe) const { return pe < owned_.size() && owned_[pe] != 0; }
   // Returns false when the loop should stop (kShutdown or fatal error).
   bool handle_frame(NetFrame f);
   void exec_local(Task t);
@@ -67,6 +65,13 @@ class WorkerEngine final : public TaskSink {
   void send_frame(const NetFrame& f);
   void send_data(PeId src, PeId dst, std::vector<std::uint8_t> bytes);
   void service_channel();
+  // (Re)create the fault plane + reliable channel. Called from the ctor and
+  // again at every kEpochFence: a membership fence voids all in-flight
+  // worker↔worker traffic, and every survivor resets its sequence spaces in
+  // the same fence, so fresh channels stay consistent cluster-wide.
+  void init_message_plane();
+  void rebuild_owned_list();
+  void send_handoff_ack(std::uint64_t seq, bool ok);
   void send_mark_report(Plane plane, std::uint64_t epoch);
   // Ship the registry/trace delta accumulated since the previous quiesce
   // (sent immediately before the kMarkReport on the same FIFO connection).
@@ -94,11 +99,30 @@ class WorkerEngine final : public TaskSink {
   bool fatal_ = false;
   std::chrono::steady_clock::time_point t0_;
 
-  // Telemetry plane: full-width registry (indexed by global PE; only the
-  // owned block is ever touched) plus the per-quiesce delta baseline.
+  // Current ownership — adopted from every handoff's per-PE flags, so a
+  // repartition-on-survivors needs no extra assignment frame. Starts as the
+  // registration-time contiguous block; non-contiguous after a recovery.
+  std::vector<std::uint8_t> owned_;  // [pe] != 0 ⇔ this worker owns pe
+  std::vector<PeId> owned_list_;     // the set, ascending
+  // Membership generation adopted from the last kEpochFence; kData/kSeed
+  // frames stamped with any other generation are void (pre-fence traffic).
+  std::uint16_t gen_ = 0;
+  // Set when a handoff checksum disagreed with the replica: everything but
+  // kQuiesce (answered with an empty report), clock probes and the fence
+  // machinery is dropped until a full handoff checks out again.
+  bool desync_ = false;
+  // DGR_TEST_CORRUPT_HANDOFF="W:N": worker W corrupts its replica right
+  // after its Nth handoff apply — a deterministic divergence for the
+  // checksum-resync tests. 0 = disabled.
+  std::uint64_t corrupt_after_ = 0;
+  std::uint64_t applies_ = 0;
+
+  // Telemetry plane: full-width registry (indexed by global PE; only owned
+  // PEs are ever touched) plus the per-quiesce delta baseline. Baselines are
+  // full-width too: ownership can move between quiesces.
   obs::MetricsRegistry reg_;
   std::vector<std::array<std::uint64_t, obs::kNumCounters>> prev_counters_;
-  std::vector<Histogram> prev_hists_;  // pe_count × kNumHists, row-major
+  std::vector<Histogram> prev_hists_;  // num_pes × kNumHists, row-major
   // Worker-side trace ring (populated only in DGR_TRACE builds when the
   // controller asked for it; the unique_ptr itself is trace-off safe).
   std::unique_ptr<obs::TraceBuffer> trace_;

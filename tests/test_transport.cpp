@@ -3,6 +3,8 @@
 // everything below the engines, exercised without an engine.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -338,6 +340,140 @@ TEST(SocketHub, DataFramesRelayToEndpointOwner) {
   EXPECT_EQ(in.src, 1u);
   EXPECT_EQ(in.dst, 3u);
   EXPECT_EQ(in.payload, out.payload);
+}
+
+// ---- Membership plumbing: forced drops, slot reclaim, ownership remap. ----
+
+TEST(SocketHub, DropWorkerForcesPromptEofAndSlotReclaim) {
+  // drop_worker is the watchdog's hammer for a silently wedged worker: the
+  // hub shuts the connection down both ways, so the loss surfaces on the
+  // SAME reader-EOF path a crashed process takes — promptly, not after a
+  // network timeout.
+  HubRig rig;
+  std::atomic<int> lost{-1};
+  rig.hub().set_worker_lost([&](std::uint32_t w) {
+    lost.store(static_cast<int>(w));
+  });
+  Socket s = rig.connect();
+  ASSERT_TRUE(s.valid());
+  ASSERT_EQ(HubRig::do_register(s, 0).type, FrameType::kRegisterAck);
+  ASSERT_TRUE(rig.hub().wait_workers(1, 1000));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  rig.hub().drop_worker(0);
+  // The dropped worker's blocking read unblocks with EOF...
+  std::uint8_t b;
+  EXPECT_LE(s.read_some(&b, 1), 0);
+  const auto eof_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  EXPECT_LT(eof_ms, 2000) << "EOF took " << eof_ms << " ms — a drop must "
+                          << "not wait on any timeout";
+  // ...the lost callback names the dropped slot...
+  for (int i = 0; i < 200 && lost.load() < 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(lost.load(), 0);
+  // ...and the freed slot accepts a reconnect.
+  for (int i = 0; i < 200 && rig.hub().workers_connected() != 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_EQ(rig.hub().workers_connected(), 0u);
+  Socket again = rig.connect();
+  ASSERT_TRUE(again.valid());
+  EXPECT_EQ(HubRig::do_register(again, 0, kProtoVersion,
+                                kRegisterFlagReconnect)
+                .type,
+            FrameType::kRegisterAck);
+  EXPECT_EQ(rig.hub().workers_connected(), 1u);
+}
+
+TEST(SocketHub, EndpointOwnerRemapReroutesRelay) {
+  // Repartition-on-survivors in miniature: PE 3 starts at worker 1; after
+  // set_endpoint_owner(3, 0) the same kData frame comes out of worker 0's
+  // socket instead.
+  HubRig rig;
+  Socket w0 = rig.connect();
+  Socket w1 = rig.connect();
+  ASSERT_TRUE(w0.valid());
+  ASSERT_TRUE(w1.valid());
+  ASSERT_EQ(HubRig::do_register(w0, 0).type, FrameType::kRegisterAck);
+  ASSERT_EQ(HubRig::do_register(w1, 1).type, FrameType::kRegisterAck);
+
+  const NetFrame before = data_frame(1, 3, {0x01});
+  auto wire = encode_frame(before);
+  ASSERT_TRUE(w0.write_all(wire.data(), wire.size()));
+  EXPECT_EQ(HubRig::read_frame(w1).payload, before.payload);
+
+  rig.hub().set_endpoint_owner(3, 0);
+  const NetFrame after = data_frame(2, 3, {0x02});
+  wire = encode_frame(after);
+  ASSERT_TRUE(w1.write_all(wire.data(), wire.size()));
+  const NetFrame in = HubRig::read_frame(w0);
+  EXPECT_EQ(in.type, FrameType::kData);
+  EXPECT_EQ(in.dst, 3u);
+  EXPECT_EQ(in.payload, after.payload);
+}
+
+TEST(SocketHub, FencedSlotRejectsReRegistration) {
+  // The engine-side policy after a membership fence: a slot whose owner was
+  // declared dead refuses re-registration (code 4) — its partition already
+  // moved, and a zombie replica writing marks for it would break the
+  // single-owner invariant. Modeled here with the same policy shape
+  // ProcEngine installs.
+  std::atomic<std::uint64_t> dead_mask{0};
+  SocketHub hub;
+  hub.set_control_handler([](std::uint32_t, NetFrame) {});
+  SocketAddr addr;
+  ASSERT_TRUE(SocketAddr::parse("tcp:127.0.0.1:0", addr));
+  ASSERT_TRUE(hub.listen(addr, [&](const RegisterMsg& reg) {
+    SocketHub::Decision d;
+    if (reg.worker_index >= 2) {
+      d.reject = RejectMsg{3, "worker index out of range"};
+      return d;
+    }
+    if (dead_mask.load() & (1ull << reg.worker_index)) {
+      d.reject = RejectMsg{4, "worker slot fenced after loss"};
+      return d;
+    }
+    d.accept = true;
+    d.ack.worker_index = reg.worker_index;
+    d.ack.num_workers = 2;
+    d.ack.config.num_pes = 4;
+    d.ack.config.pe_begin = reg.worker_index * 2;
+    d.ack.config.pe_count = 2;
+    return d;
+  }))
+      << hub.error();
+
+  auto dial = [&] {
+    SocketAddr a;
+    EXPECT_TRUE(SocketAddr::parse(hub.address(), a));
+    return socket_connect(a, 2000);
+  };
+
+  Socket s = dial();
+  ASSERT_TRUE(s.valid());
+  ASSERT_EQ(HubRig::do_register(s, 1).type, FrameType::kRegisterAck);
+
+  // The worker "dies" and the controller fences its generation.
+  s.close();
+  for (int i = 0; i < 200 && hub.workers_connected() != 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  dead_mask.store(1ull << 1);
+
+  // Pre-fence traffic hitting the slot again — even with the reconnect
+  // flag — is refused with the fence code.
+  Socket again = dial();
+  ASSERT_TRUE(again.valid());
+  const NetFrame reply = HubRig::do_register(again, 1, kProtoVersion,
+                                             kRegisterFlagReconnect);
+  ASSERT_EQ(reply.type, FrameType::kReject);
+  RejectMsg rej;
+  ASSERT_TRUE(decode_reject(reply.payload, rej));
+  EXPECT_EQ(rej.code, 4u);
+  // A different (live) slot still registers fine.
+  Socket other = dial();
+  ASSERT_TRUE(other.valid());
+  EXPECT_EQ(HubRig::do_register(other, 0).type, FrameType::kRegisterAck);
 }
 
 // ---- SocketTransport: the Transport contract over real sockets. ----

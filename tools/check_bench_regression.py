@@ -13,6 +13,17 @@ runner — moves every ratio equally and trips nothing; a single benchmark
 whose ratio stands out against its siblings is a real regression in that
 code path.
 
+--handoff-gate METRICS.json gates the differential-handoff contract on a
+stable-graph proc-smoke run (no cross-machine comparison): total
+handoff_delta_bytes must stay below total handoff_full_bytes, the average
+delta frame must be under --handoff-ratio (default 0.10) of the average full
+snapshot, and the run must record zero checksum resyncs and zero lost
+workers — a resync on a healthy run means the delta apply diverged. The
+committed reference record (bench/baselines/HANDOFF_proc_smoke.json, written
+by a quiet-machine run of the same dgr_run invocation) is checked against
+the same contract when --handoff-baseline names it, so a baseline refresh
+that regresses the encoding cannot land.
+
 Additionally --throughput-ratio-floor R asserts, within the CURRENT run of
 BENCH_latency.json alone (no cross-machine comparison at all), that the
 batched cross-PE throughput leg (BM_CrossPeTaskThroughput/1) beats the
@@ -130,6 +141,64 @@ def check_scaling_gate(path, label):
     return failures
 
 
+def check_handoff_gate(path, label, max_ratio):
+    """Differential-handoff contract over one proc-smoke metrics JSON.
+
+    Accepts either a full dgr_run --metrics file (handoff counts under
+    "membership", byte totals under "totals") or the trimmed baseline record
+    (the same four keys at top level).
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return ["handoff-gate(%s): cannot read %s: %s" % (label, path, e)]
+    mem = doc.get("membership", doc)
+    totals = doc.get("totals", doc)
+    try:
+        n_full = mem["handoffs_full"]
+        n_delta = mem["handoffs_delta"]
+        full_b = totals["handoff_full_bytes"]
+        delta_b = totals["handoff_delta_bytes"]
+    except KeyError as e:
+        return ["handoff-gate(%s): %s missing key %s" % (label, path, e)]
+
+    failures = []
+    if n_full == 0 or n_delta == 0:
+        return ["handoff-gate(%s): run recorded %d full / %d delta handoffs; "
+                "both kinds must occur for the gate to mean anything" %
+                (label, n_full, n_delta)]
+    per_full = full_b / n_full
+    per_delta = delta_b / n_delta
+    ratio = per_delta / per_full if per_full else float("inf")
+    print("handoff-gate(%s): %d full (%d B, %.0f B avg), %d delta "
+          "(%d B, %.1f B avg), per-plane ratio %.3f (max %.2f)" %
+          (label, n_full, full_b, per_full, n_delta, delta_b, per_delta,
+           ratio, max_ratio))
+    if delta_b >= full_b:
+        failures.append(
+            "handoff-gate(%s): total delta bytes %d >= total full bytes %d "
+            "on a stable-graph run — deltas are not paying for themselves" %
+            (label, delta_b, full_b))
+    if ratio >= max_ratio:
+        failures.append(
+            "handoff-gate(%s): average delta frame is %.1f%% of the average "
+            "full snapshot (limit %.0f%%)" %
+            (label, ratio * 100.0, max_ratio * 100.0))
+    # These only exist in the full metrics file; the trimmed baseline omits
+    # them (a baseline is only ever cut from a clean run).
+    resyncs = mem.get("handoff_resyncs", 0)
+    lost = mem.get("worker_lost", 0)
+    if resyncs:
+        failures.append("handoff-gate(%s): %d checksum resyncs on a healthy "
+                        "run — the delta apply diverged from the controller" %
+                        (label, resyncs))
+    if lost:
+        failures.append("handoff-gate(%s): %d workers lost during the "
+                        "stable-graph run" % (label, lost))
+    return failures
+
+
 def check_throughput_ratio(cur_path, floor):
     """Batched vs unbatched cross-PE throughput, current run only."""
     cur = load_runs(cur_path)
@@ -155,8 +224,9 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", default="bench/baselines",
                     help="directory of committed BENCH_*.json baselines")
-    ap.add_argument("--current", required=True,
-                    help="directory of freshly produced BENCH_*.json files")
+    ap.add_argument("--current",
+                    help="directory of freshly produced BENCH_*.json files "
+                         "(required unless only --handoff-gate is used)")
     ap.add_argument("--max-regress", type=float, default=0.25,
                     help="max tolerated per-benchmark slowdown relative to "
                          "the median machine factor (default 0.25 = 25%%)")
@@ -171,7 +241,38 @@ def main():
                     help="additionally enforce the scaling gate on the "
                          "current run (off by default: smoke timings on a "
                          "loaded CI runner are too noisy to gate on)")
+    ap.add_argument("--handoff-gate", metavar="METRICS_JSON",
+                    help="gate the differential-handoff contract on this "
+                         "dgr_run --metrics file from a stable-graph run")
+    ap.add_argument("--handoff-baseline", metavar="JSON",
+                    help="committed handoff reference record; checked "
+                         "against the same contract so a refresh cannot "
+                         "regress the encoding")
+    ap.add_argument("--handoff-ratio", type=float, default=0.10,
+                    help="max average-delta / average-full size ratio for "
+                         "--handoff-gate (default 0.10 = 10%%)")
     args = ap.parse_args()
+
+    failures = []
+    if args.handoff_gate:
+        failures += check_handoff_gate(args.handoff_gate, "current",
+                                       args.handoff_ratio)
+        if args.handoff_baseline:
+            failures += check_handoff_gate(args.handoff_baseline, "baseline",
+                                           args.handoff_ratio)
+
+    if args.current is None:
+        if not args.handoff_gate:
+            print("--current is required unless --handoff-gate is used",
+                  file=sys.stderr)
+            return 2
+        if failures:
+            print("\nFAIL:", file=sys.stderr)
+            for f in failures:
+                print("  " + f, file=sys.stderr)
+            return 1
+        print("\nbench regression gate: clean")
+        return 0
 
     if not os.path.isdir(args.baseline):
         print("no baseline directory '%s'" % args.baseline, file=sys.stderr)
@@ -183,7 +284,6 @@ def main():
               file=sys.stderr)
         return 2
 
-    failures = []
     for fname in baselines:
         cur_path = os.path.join(args.current, fname)
         if not os.path.exists(cur_path):
