@@ -1,0 +1,160 @@
+// E18 — Session-workload throughput and mutator stall (docs/WORKLOAD.md).
+//
+// Drives the src/workload open-loop session generator — Poisson/bursty
+// arrivals, Zipf hot-key churn, lifetime-bounded completion — through the
+// engines and measures the two SLO quantities the soak harness gates on:
+// sessions per second and the mutator-stall distribution (the time a session
+// mutation spends blocked on collector cooperation). The table reports the
+// deterministic simulator run; the timed legs extend BM_MarkCycleLatency
+// (bench_latency.cpp) from a bare marking cycle to a full session epoch: the
+// same cycle machinery, now with live arrival/churn/retire traffic and — on
+// the threaded leg — real PE threads contending with the mutator.
+//
+// bench/baselines/BENCH_sessions.json is the committed wall-clock reference
+// (ratio-gated); bench/baselines/SESSIONS_soak_smoke.json carries the
+// absolute SLO floors checked by check_bench_regression.py --slo-gate
+// against a live dgr_soak report.
+#include "bench/bench_common.h"
+#include "runtime/thread_engine.h"
+#include "workload/session.h"
+
+namespace dgr::bench {
+namespace {
+
+using workload::SessionDriver;
+using workload::WorkloadOptions;
+
+WorkloadOptions base_options(std::uint64_t seed) {
+  WorkloadOptions w;
+  w.seed = seed;
+  w.pes = 4;
+  w.ticks = g_smoke ? 24 : 64;
+  w.rate = 2.0;
+  w.sim_steps_per_tick = 2000;
+  return w;
+}
+
+struct EpochRow {
+  std::uint64_t opened = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t churn = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t swept = 0;
+  double stall_p99_us = 0.0;
+};
+
+// One sim epoch: deterministic, message latency configurable — the session
+// version of bench_latency's run_mark.
+EpochRow run_sim_epoch(const WorkloadOptions& w, std::uint32_t latency) {
+  Graph g(w.pes, workload::required_capacity(w));
+  SimOptions sopt;
+  sopt.seed = w.seed;
+  sopt.max_latency = latency;
+  SimEngine eng(g, sopt);
+  auto drv_eng = workload::make_driver(eng);
+  SessionDriver drv(*drv_eng, w);
+  drv.setup();
+  for (PeId pe = 0; pe < g.num_pes(); ++pe)
+    g.store(pe).set_fixed_capacity(true);
+  drv.run(workload::generate_schedule(w));
+  EpochRow r;
+  r.opened = drv.totals().opened;
+  r.closed = drv.totals().closed;
+  r.churn = drv.totals().churn;
+  r.cycles = drv.totals().cycles;
+  r.swept = eng.controller().total_swept();
+  return r;
+}
+
+// One threaded epoch: the mutator contends with live PE threads, so the
+// stall histogram is real blocked time.
+EpochRow run_thread_epoch(const WorkloadOptions& w) {
+  Graph g(w.pes, workload::required_capacity(w));
+  ThreadEngine eng(g, NetOptions{});
+  auto drv_eng = workload::make_driver(eng);
+  SessionDriver drv(*drv_eng, w);
+  drv.setup();
+  for (PeId pe = 0; pe < g.num_pes(); ++pe)
+    g.store(pe).set_fixed_capacity(true);
+  eng.start();
+  drv.run(workload::generate_schedule(w));
+  eng.stop();
+  EpochRow r;
+  r.opened = drv.totals().opened;
+  r.closed = drv.totals().closed;
+  r.churn = drv.totals().churn;
+  r.cycles = drv.totals().cycles;
+  r.stall_p99_us =
+      eng.metrics_registry().merged_hist(obs::Hist::kMutatorStallUs).p99();
+  return r;
+}
+
+void table() {
+  print_header("E18: session workload (soak driver)",
+               "§4 concurrent mutator/collector, §5.4.1 invariants",
+               "open-loop session traffic sustains sessions/s with bounded "
+               "mutator stall while cycles continuously reclaim retired "
+               "regions");
+  std::printf("sim epoch, 4 PEs, %u ticks:\n", base_options(1).ticks);
+  std::printf("   %8s %8s %8s %8s %8s %8s %8s\n", "arrivals", "latency",
+              "opened", "closed", "churn", "cycles", "swept");
+  for (const bool bursty : {false, true}) {
+    for (std::uint32_t lat : {0u, 8u}) {
+      WorkloadOptions w = base_options(7);
+      if (bursty) w.arrivals = workload::Arrivals::kBursty;
+      const EpochRow r = run_sim_epoch(w, lat);
+      std::printf("   %8s %8u %8llu %8llu %8llu %8llu %8llu\n",
+                  bursty ? "bursty" : "poisson", lat,
+                  (unsigned long long)r.opened, (unsigned long long)r.closed,
+                  (unsigned long long)r.churn, (unsigned long long)r.cycles,
+                  (unsigned long long)r.swept);
+    }
+  }
+}
+
+// BM_MarkCycleLatency extended to a session epoch: the marking cycles now
+// run against live arrival/churn/retire traffic, swept regions included.
+// Arg = cross-PE message latency (sim steps), as in the original.
+void BM_SessionEpochSim(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  std::uint64_t sessions = 0, cycles = 0;
+  for (auto _ : state) {
+    const EpochRow r = run_sim_epoch(
+        base_options(seed++), static_cast<std::uint32_t>(state.range(0)));
+    sessions += r.closed;
+    cycles += r.cycles;
+  }
+  state.counters["sessions/s"] = benchmark::Counter(
+      static_cast<double>(sessions), benchmark::Counter::kIsRate);
+  state.counters["cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_SessionEpochSim)->Arg(0)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// The SLO leg: sessions/s and mutator-stall p99 with real PE threads
+// marking concurrently. Wall-clock (UseRealTime) because the quantity of
+// interest is end-to-end epoch latency under contention.
+void BM_SessionEpochThreaded(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  std::uint64_t sessions = 0;
+  double stall_p99 = 0.0;
+  for (auto _ : state) {
+    const EpochRow r = run_thread_epoch(base_options(seed++));
+    sessions += r.closed;
+    stall_p99 = std::max(stall_p99, r.stall_p99_us);
+  }
+  state.counters["sessions/s"] = benchmark::Counter(
+      static_cast<double>(sessions), benchmark::Counter::kIsRate);
+  state.counters["stall_p99_us"] = stall_p99;
+}
+BENCHMARK(BM_SessionEpochThreaded)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace dgr::bench
+
+int main(int argc, char** argv) {
+  dgr::bench::detect_smoke(argc, argv);
+  dgr::bench::table();
+  return dgr::bench::run_bench_main("sessions", argc, argv, "0.05");
+}

@@ -161,6 +161,11 @@ class HealthEmitter {
     s.local_msgs = local - prev_local_;
     s.retransmits = retx - prev_retx_;
     s.telemetry_dropped = reg.total(Counter::kTelemetryDropped);
+    // Mutator-stall rollup (cumulative): the reduction's own cooperative
+    // mutations sample Hist::kMutatorStallUs just like the workload driver.
+    const auto stall = reg.merged_hist(dgr::obs::Hist::kMutatorStallUs);
+    s.stall_ops = stall.count();
+    s.stall_p99_us = stall.count() ? stall.percentile(99.0) : 0.0;
     s.workers_live = workers_live;
     s.workers_total = workers_total;
     prev_marks_ = marks;

@@ -148,6 +148,12 @@ class Controller {
   // mutator's sinks via enable_trace().
   void set_trace(obs::TraceBuffer* t) { trace_ = t; }
 
+  // The effective M_R root: the single user root, or the aux uroot fanning
+  // out to all of them (refreshed to the live roots on each call). External
+  // differential rigs hand this to the sequential Oracle so multi-root
+  // workloads get the same reachability the marker sees.
+  VertexId marking_root();
+
   const CycleResult& last() const { return last_; }
   // Atomic: sampled by the ThreadEngine watchdog while cycles run.
   std::uint64_t cycles_completed() const {
@@ -164,10 +170,6 @@ class Controller {
   void start_mr();
   void restructure();
   VertexId build_task_roots();
-
-  // The effective M_R root: the single user root, or the aux uroot fanning
-  // out to all of them.
-  VertexId marking_root();
 
   Graph& g_;
   Marker& marker_;

@@ -257,6 +257,22 @@ TraceReport analyze(const std::vector<TraceEvent>& events) {
         ++rep.handoff_resyncs;
         break;
       }
+      case EventType::kSessionOpen:
+      case EventType::kSessionChurn:
+      case EventType::kSessionClose: {
+        SessionSlo& s = rep.sessions;
+        if (s.opened + s.churn + s.closed == 0) s.first_ts = e.ts;
+        s.last_ts = e.ts;
+        if (e.type == EventType::kSessionOpen) {
+          ++s.opened;
+          s.peak_live = std::max(s.peak_live, s.opened - s.closed);
+        } else if (e.type == EventType::kSessionChurn) {
+          ++s.churn;
+        } else {
+          ++s.closed;
+        }
+        break;
+      }
       case EventType::kCount_:
         break;
     }
@@ -284,6 +300,12 @@ TraceReport analyze(const std::vector<TraceEvent>& events) {
   }
   rep.wave_r = summarize(lat_r);
   rep.wave_t = summarize(lat_t);
+  if (rep.sessions.closed && rep.sessions.last_ts > rep.sessions.first_ts) {
+    // Meaningful only when the trace clock is µs (threaded engine).
+    rep.sessions.sessions_per_sec =
+        static_cast<double>(rep.sessions.closed) * 1e6 /
+        static_cast<double>(rep.sessions.last_ts - rep.sessions.first_ts);
+  }
   for (DeadlockPostMortem& pm : rep.deadlocks) {
     auto it = cycle_index.find(pm.cycle);
     if (it == cycle_index.end()) continue;
@@ -381,7 +403,46 @@ bool enrich_with_metrics_json(TraceReport& report, const std::string& json) {
       if (scan_double_after(json, h, "\"max\":", &max_depth))
         p.mailbox_high_water = static_cast<std::uint64_t>(max_depth);
     }
+    // Mutator stall histogram: sum the sample counts, keep the worst
+    // percentile across PEs (log-bucket percentiles don't merge exactly).
+    const std::size_t st = json.find("\"mutator_stall_us\":", at);
+    if (st != std::string::npos) {
+      SessionSlo& s = report.sessions;
+      std::uint64_t cnt = 0;
+      double p50 = 0, p99 = 0, p999 = 0, mx = 0;
+      if (scan_u64_after(json, st, "\"count\":", &cnt) && cnt) {
+        s.stall_ops += cnt;
+        if (scan_double_after(json, st, "\"p50\":", &p50))
+          s.stall_p50_us = std::max(s.stall_p50_us, p50);
+        if (scan_double_after(json, st, "\"p99\":", &p99))
+          s.stall_p99_us = std::max(s.stall_p99_us, p99);
+        if (scan_double_after(json, st, "\"p999\":", &p999))
+          s.stall_p999_us = std::max(s.stall_p999_us, p999);
+        if (scan_double_after(json, st, "\"max\":", &mx))
+          s.stall_max_us = std::max(s.stall_max_us, mx);
+      }
+    }
     pos = at + 1;
+  }
+  // Session + stall-attribution totals (the "totals" object precedes "pes",
+  // so a first-occurrence scan lands on it).
+  {
+    SessionSlo& s = report.sessions;
+    const std::size_t tot = json.find("\"totals\":");
+    if (tot != std::string::npos) {
+      std::uint64_t u = 0;
+      if (scan_u64_after(json, tot, "\"sessions_opened\":", &u) && u)
+        s.opened = std::max(s.opened, u);
+      if (scan_u64_after(json, tot, "\"sessions_closed\":", &u) && u)
+        s.closed = std::max(s.closed, u);
+      if (scan_u64_after(json, tot, "\"session_churn_ops\":", &u) && u)
+        s.churn = std::max(s.churn, u);
+      scan_u64_after(json, tot, "\"sessions_rejected\":", &s.rejected);
+      scan_u64_after(json, tot, "\"mutator_stall_idle_us\":", &s.stall_idle_us);
+      scan_u64_after(json, tot, "\"mutator_stall_mark_us\":", &s.stall_mark_us);
+      scan_u64_after(json, tot, "\"mutator_stall_quiesce_us\":",
+                     &s.stall_quiesce_us);
+    }
   }
   // Cluster rollup: present only in ProcEngine::cluster_metrics_json dumps
   // (the "{\"worker\":N," anchor cannot collide with "{\"pe\":N," above).
@@ -601,7 +662,34 @@ std::string report_to_json(const TraceReport& r) {
     append_kv(out, "clock_rtt_us", w.clock_rtt_us, false);
     out += '}';
   }
-  out += "],\"deadlocks\":[";
+  out += "],\"sessions\":{";
+  {
+    const SessionSlo& s = r.sessions;
+    append_kv(out, "opened", s.opened);
+    append_kv(out, "closed", s.closed);
+    append_kv(out, "churn", s.churn);
+    append_kv(out, "peak_live", s.peak_live);
+    append_kv(out, "rejected", s.rejected);
+    append_kv(out, "first_ts", s.first_ts);
+    append_kv(out, "last_ts", s.last_ts);
+    out += "\"sessions_per_sec\":";
+    append_double(out, s.sessions_per_sec);
+    out += ',';
+    append_kv(out, "stall_ops", s.stall_ops);
+    out += "\"stall_p50_us\":";
+    append_double(out, s.stall_p50_us);
+    out += ",\"stall_p99_us\":";
+    append_double(out, s.stall_p99_us);
+    out += ",\"stall_p999_us\":";
+    append_double(out, s.stall_p999_us);
+    out += ",\"stall_max_us\":";
+    append_double(out, s.stall_max_us);
+    out += ',';
+    append_kv(out, "stall_idle_us", s.stall_idle_us);
+    append_kv(out, "stall_mark_us", s.stall_mark_us);
+    append_kv(out, "stall_quiesce_us", s.stall_quiesce_us, false);
+  }
+  out += "},\"deadlocks\":[";
   for (std::size_t i = 0; i < r.deadlocks.size(); ++i) {
     const DeadlockPostMortem& d = r.deadlocks[i];
     if (i) out += ',';
@@ -869,6 +957,47 @@ std::string report_to_text(const TraceReport& r) {
            (unsigned long long)r.handoff_resyncs,
            (unsigned long long)r.workers_live,
            (unsigned long long)r.workers_total);
+    }
+  }
+
+  // Session-workload SLO rollup: trace events give the session ledger; the
+  // stall histogram and phase attribution need --metrics enrichment.
+  if (r.sessions.opened || r.sessions.stall_ops) {
+    const SessionSlo& s = r.sessions;
+    line(out, "");
+    line(out, "== sessions ==");
+    line(out,
+         "opened %llu | closed %llu | peak live %llu | churn ops %llu | "
+         "rejected %llu",
+         (unsigned long long)s.opened, (unsigned long long)s.closed,
+         (unsigned long long)s.peak_live, (unsigned long long)s.churn,
+         (unsigned long long)s.rejected);
+    if (s.sessions_per_sec > 0.0)
+      line(out, "throughput %.1f sessions/s over %llu clock units",
+           s.sessions_per_sec, (unsigned long long)(s.last_ts - s.first_ts));
+    if (s.stall_ops) {
+      line(out,
+           "mutator stall: %llu ops | p50 %.4gus | p99 %.4gus | p99.9 %.4gus "
+           "| max %.4gus",
+           (unsigned long long)s.stall_ops, s.stall_p50_us, s.stall_p99_us,
+           s.stall_p999_us, s.stall_max_us);
+      const std::uint64_t total_us =
+          s.stall_idle_us + s.stall_mark_us + s.stall_quiesce_us;
+      if (total_us)
+        line(out,
+             "stall attribution: idle %llu us (%.1f%%) | marking %llu us "
+             "(%.1f%%) | quiesce %llu us (%.1f%%)",
+             (unsigned long long)s.stall_idle_us,
+             100.0 * static_cast<double>(s.stall_idle_us) /
+                 static_cast<double>(total_us),
+             (unsigned long long)s.stall_mark_us,
+             100.0 * static_cast<double>(s.stall_mark_us) /
+                 static_cast<double>(total_us),
+             (unsigned long long)s.stall_quiesce_us,
+             100.0 * static_cast<double>(s.stall_quiesce_us) /
+                 static_cast<double>(total_us));
+    } else if (!r.metrics_enriched) {
+      line(out, "(run with --metrics for stall percentiles and attribution)");
     }
   }
 

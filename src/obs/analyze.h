@@ -147,6 +147,34 @@ struct WorkerRow {
   std::uint64_t clock_rtt_us = 0;    // RTT of the winning offset probe
 };
 
+// Session-workload SLO rollup (kSessionOpen/Churn/Close events from the
+// src/workload driver; stall fields come from --metrics enrichment, reading
+// the mutator_stall_us histogram and the per-phase stall counters).
+struct SessionSlo {
+  std::uint64_t opened = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t churn = 0;
+  std::uint64_t peak_live = 0;       // max concurrently open sessions
+  std::uint64_t first_ts = 0;        // first/last session event (engine clock)
+  std::uint64_t last_ts = 0;
+  // closed / event span. The trace clock is µs on the threaded engine and
+  // steps on the simulator, so this is sessions-per-second only for traces
+  // with a µs clock (dgr_soak reports a wall-clock rate independently).
+  double sessions_per_sec = 0.0;
+  // --metrics enrichment. Percentiles are the worst (max) across the per-PE
+  // histograms — a conservative ceiling, since log-bucket percentiles don't
+  // merge exactly; stall-µs totals are exact counter sums.
+  std::uint64_t stall_ops = 0;
+  double stall_p50_us = 0.0;
+  double stall_p99_us = 0.0;
+  double stall_p999_us = 0.0;
+  double stall_max_us = 0.0;
+  std::uint64_t stall_idle_us = 0;     // stalled while the collector was idle
+  std::uint64_t stall_mark_us = 0;     // ...while a plane was marking
+  std::uint64_t stall_quiesce_us = 0;  // ...while restructuring was due
+  std::uint64_t rejected = 0;          // arrivals refused (store full)
+};
+
 struct TraceReport {
   std::uint64_t events = 0;
   std::uint32_t num_pes = 0;  // 1 + max pe observed (or metrics-provided)
@@ -186,6 +214,8 @@ struct TraceReport {
   std::uint64_t membership_gen = 0;
   std::uint64_t workers_live = 0;
   std::uint64_t workers_total = 0;
+  // Session-workload SLO rollup (all zero on traces without a driver).
+  SessionSlo sessions;
 };
 
 // Build the report from events in emission order (as from_jsonl returns

@@ -357,6 +357,35 @@ void chrome_emit_events(std::string& out, const std::vector<TraceEvent>& events,
         chrome_instant(out, pid, "handoff_resync", e.ts, e.pe, args);
         break;
       }
+      case EventType::kSessionOpen: {
+        std::string args = "{\"session\":";
+        append_u64(args, e.a);
+        args += ",\"size\":";
+        append_u64(args, e.b);
+        args += "}";
+        chrome_instant(out, pid, "session_open", e.ts, e.pe, args);
+        break;
+      }
+      case EventType::kSessionChurn: {
+        std::string args = "{\"session\":";
+        append_u64(args, e.a);
+        args += ",\"op\":";
+        append_u64(args, e.b >> 32);
+        args += ",\"hot\":";
+        append_u64(args, e.b & 0xffffffffull);
+        args += "}";
+        chrome_instant(out, pid, "session_churn", e.ts, e.pe, args);
+        break;
+      }
+      case EventType::kSessionClose: {
+        std::string args = "{\"session\":";
+        append_u64(args, e.a);
+        args += ",\"ticks_lived\":";
+        append_u64(args, e.b);
+        args += "}";
+        chrome_instant(out, pid, "session_close", e.ts, e.pe, args);
+        break;
+      }
       case EventType::kCount_:
         break;
     }

@@ -60,6 +60,14 @@ const char* counter_name(Counter c) {
     case Counter::kHandoffFullBytes: return "handoff_full_bytes";
     case Counter::kHandoffDeltaBytes: return "handoff_delta_bytes";
     case Counter::kHandoffResyncs: return "handoff_resyncs";
+    case Counter::kSessionsOpened: return "sessions_opened";
+    case Counter::kSessionsClosed: return "sessions_closed";
+    case Counter::kSessionChurnOps: return "session_churn_ops";
+    case Counter::kSessionsRejected: return "sessions_rejected";
+    case Counter::kMutatorOps: return "mutator_ops";
+    case Counter::kMutatorStallIdleUs: return "mutator_stall_idle_us";
+    case Counter::kMutatorStallMarkUs: return "mutator_stall_mark_us";
+    case Counter::kMutatorStallQuiesceUs: return "mutator_stall_quiesce_us";
     case Counter::kCount_: break;
   }
   return "?";
@@ -72,6 +80,7 @@ const char* hist_name(Hist h) {
     case Hist::kMsgLatency: return "msg_latency";
     case Hist::kChannelRtt: return "channel_rtt_us";
     case Hist::kBatchFillPct: return "batch_fill_pct";
+    case Hist::kMutatorStallUs: return "mutator_stall_us";
     case Hist::kCount_: break;
   }
   return "?";
@@ -160,6 +169,8 @@ void append_hist(std::string& out, const Histogram& h) {
   append_double(out, h.p50());
   out += ",\"p99\":";
   append_double(out, h.p99());
+  out += ",\"p999\":";
+  append_double(out, h.percentile(99.9));
   out += ",\"max\":";
   append_double(out, h.max_value());
   out += '}';
@@ -218,6 +229,10 @@ std::string health_line(const HealthSnapshot& s) {
                   s.workers_total);
     out += buf;
   }
+  if (s.stall_ops) {
+    std::snprintf(buf, sizeof(buf), " | stall-p99 %.4gus", s.stall_p99_us);
+    out += buf;
+  }
   if (s.telemetry_dropped) {
     std::snprintf(buf, sizeof(buf), " | tele-drop %llu",
                   (unsigned long long)s.telemetry_dropped);
@@ -241,6 +256,10 @@ std::string health_jsonl(const HealthSnapshot& s) {
   append_u64(out, s.local_msgs);
   out += ",\"retransmits\":";
   append_u64(out, s.retransmits);
+  out += ",\"stall_ops\":";
+  append_u64(out, s.stall_ops);
+  out += ",\"mutator_stall_p99_us\":";
+  append_double(out, s.stall_p99_us);
   out += ",\"telemetry_dropped\":";
   append_u64(out, s.telemetry_dropped);
   out += ",\"workers_live\":";

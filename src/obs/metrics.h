@@ -62,6 +62,17 @@ enum class Counter : std::uint8_t {
   kHandoffFullBytes,     // full-snapshot handoff payload bytes
   kHandoffDeltaBytes,    // differential handoff payload bytes
   kHandoffResyncs,       // checksum mismatches that forced a full resync
+  // Workload driver (src/workload, docs/WORKLOAD.md). Session counters are
+  // charged to the session root's PE; stall time is attributed to the
+  // controller phase observed when the mutation was submitted.
+  kSessionsOpened,     // sessions admitted (anchor edge added)
+  kSessionsClosed,     // sessions retired (anchor edge dropped)
+  kSessionChurnOps,    // churn mutations applied (acquire / drop / inject)
+  kSessionsRejected,   // arrivals refused because the store was full
+  kMutatorOps,         // timed driver mutations (stall histogram samples)
+  kMutatorStallIdleUs,     // stall µs submitted while the controller was idle
+  kMutatorStallMarkUs,     // stall µs submitted while a plane was marking
+  kMutatorStallQuiesceUs,  // stall µs submitted while restructuring was due
   kCount_,
 };
 inline constexpr std::size_t kNumCounters =
@@ -74,6 +85,7 @@ enum class Hist : std::uint8_t {
   kMsgLatency,          // cross-PE delivery latency (sim steps)
   kChannelRtt,          // reliable-channel clean RTT samples (microseconds)
   kBatchFillPct,        // flushed batch fill (percent of the size cap)
+  kMutatorStallUs,      // driver mutation blocked on locks/quiesce (µs)
   kCount_,
 };
 inline constexpr std::size_t kNumHists = static_cast<std::size_t>(Hist::kCount_);
@@ -117,7 +129,7 @@ class MetricsRegistry {
   void reset();
 
   // Deterministic JSON object: {"num_pes":N,"totals":{...},"pes":[...]}.
-  // Histograms export count/p50/p99/max.
+  // Histograms export count/p50/p99/p999/max.
   std::string to_json() const;
 
  private:
@@ -143,6 +155,8 @@ struct HealthSnapshot {
   std::uint64_t remote_msgs = 0;    // remote messages this window
   std::uint64_t local_msgs = 0;     // local messages this window
   std::uint64_t retransmits = 0;    // channel retransmits this window
+  std::uint64_t stall_ops = 0;      // timed mutator ops so far (cumulative)
+  double stall_p99_us = 0.0;        // mutator_stall_us p99 (cumulative hist)
   std::uint64_t telemetry_dropped = 0;  // cumulative (cluster runs)
   std::uint32_t workers_live = 0;   // connected workers (0 = in-process run)
   std::uint32_t workers_total = 0;

@@ -28,6 +28,9 @@ const char* event_name(EventType t) {
     case EventType::kWorkerLost: return "worker_lost";
     case EventType::kPartitionReassign: return "partition_reassign";
     case EventType::kHandoffResync: return "handoff_resync";
+    case EventType::kSessionOpen: return "session_open";
+    case EventType::kSessionChurn: return "session_churn";
+    case EventType::kSessionClose: return "session_close";
     case EventType::kCount_: break;
   }
   return "?";

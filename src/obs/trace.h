@@ -65,6 +65,12 @@ enum class EventType : std::uint8_t {
   kWorkerLost,       // membership: worker declared dead    pe = home PE, a = worker, b = new gen
   kPartitionReassign,// membership: PEs moved to survivors  a = PEs moved, b = survivors
   kHandoffResync,    // membership: replica checksum diverged  a = worker, b = handoff seq
+  // Workload driver (src/workload). Payloads are schedule facts, never
+  // engine timings, so a seeded run's session events are engine-independent
+  // (the determinism contract tested by tests/test_workload.cpp).
+  kSessionOpen,      // driver: session admitted   pe = root PE, a = session, b = size
+  kSessionChurn,     // driver: churn op applied   pe = root PE, a = session, b = op<<32|hot
+  kSessionClose,     // driver: session retired    pe = root PE, a = session, b = ticks lived
   kCount_,
 };
 inline constexpr std::size_t kNumEventTypes =

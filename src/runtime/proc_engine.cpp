@@ -695,6 +695,12 @@ void ProcEngine::atomically(std::initializer_list<VertexId> /*vs*/,
   fn();
 }
 
+void ProcEngine::atomically(std::span<const VertexId> /*vs*/,
+                            const std::function<void()>& fn) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  fn();
+}
+
 void ProcEngine::enable_audit(AuditOptions opt) {
   audit_opt_ = opt;
   audit_enabled_ = opt.period != 0;

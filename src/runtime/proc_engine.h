@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -153,6 +154,8 @@ class ProcEngine final : public TaskSink, public EngineHooks {
   // Serialized mutation section (vertex list unused: no concurrent marking
   // touches the controller graph — the mutex excludes report merges).
   void atomically(std::initializer_list<VertexId> vs,
+                  const std::function<void()>& fn);
+  void atomically(std::span<const VertexId> vs,
                   const std::function<void()>& fn);
 
   // Safe-point auditing inside the restructuring window (same checks as

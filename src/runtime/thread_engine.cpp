@@ -473,6 +473,11 @@ void ThreadEngine::execute(PeId pe, const Task& t) {
 
 void ThreadEngine::atomically(std::initializer_list<VertexId> vs,
                               const std::function<void()>& fn) {
+  atomically(std::span<const VertexId>(vs.begin(), vs.size()), fn);
+}
+
+void ThreadEngine::atomically(std::span<const VertexId> vs,
+                              const std::function<void()>& fn) {
   std::shared_lock<std::shared_mutex> gate(mutation_gate());
   // Sorted, deduplicated (by lock index) acquisition avoids both deadlock
   // and double-locking of aliased stripes.

@@ -22,6 +22,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -225,8 +226,12 @@ class ThreadEngine final : public TaskSink, public EngineHooks {
   HealthReport health() const;
 
   // Execute `fn` with the listed vertices' locks held (sorted order) —
-  // the atomic section for a multi-vertex mutation.
+  // the atomic section for a multi-vertex mutation. The span overload
+  // serves callers whose touch set is computed at runtime (the workload
+  // driver locks a whole session subgraph at once).
   void atomically(std::initializer_list<VertexId> vs,
+                  const std::function<void()>& fn);
+  void atomically(std::span<const VertexId> vs,
                   const std::function<void()>& fn);
 
   ThreadEngineStats stats() const;

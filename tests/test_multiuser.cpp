@@ -2,10 +2,17 @@
 // share the PEs, the stores and the collector. Each user's root is a
 // marking root; garbage and deadlock are managed per-region without one
 // user's fate affecting another's.
+//
+// Root management goes through the session driver's multi-user API
+// (docs/WORKLOAD.md): adopt_root() when a user arrives, close_root() when
+// its answer has been delivered — the same pure-adopted mode (no setup(),
+// no anchors) a front-end multiplexing real users onto the machine would
+// drive, so these tests also pin that surface.
 #include <gtest/gtest.h>
 
 #include "reduction/machine.h"
 #include "runtime/sim_engine.h"
+#include "workload/session.h"
 
 namespace dgr {
 namespace {
@@ -14,7 +21,8 @@ struct MultiRig {
   Graph g{4};
   SimEngine eng;
   Machine machine;
-  std::vector<VertexId> roots;
+  std::unique_ptr<workload::DriverEngine> drv_eng;
+  workload::SessionDriver driver;
 
   explicit MultiRig(const std::string& src, std::uint64_t seed = 1)
       : eng(g, [&] {
@@ -22,16 +30,19 @@ struct MultiRig {
           s.seed = seed;
           return s;
         }()),
-        machine(g, eng.mutator(), eng, Program::from_source(src)) {}
+        machine(g, eng.mutator(), eng, Program::from_source(src)),
+        drv_eng(workload::make_driver(eng)),
+        driver(*drv_eng, workload::WorkloadOptions{}) {}
 
   VertexId add_user(const std::string& fn, PeId pe) {
     const VertexId r = machine.load_main(pe, fn);
-    roots.push_back(r);
-    eng.controller().set_roots(roots);
+    driver.adopt_root(r);
     eng.set_reducer([this](const Task& t) { machine.exec(t); });
     machine.demand(r);
     return r;
   }
+
+  void retire_user(VertexId r) { driver.close_root(r); }
 };
 
 TEST(MultiUser, IndependentResults) {
@@ -109,9 +120,9 @@ TEST(MultiUser, CompletedUserRegionIsCollectable) {
   const VertexId b = rig.add_user("user_b", 1);
   rig.eng.run(50'000'000);
   ASSERT_TRUE(rig.machine.result_of(a) && rig.machine.result_of(b));
-  // Retire user A.
-  rig.roots.erase(rig.roots.begin());
-  rig.eng.controller().set_roots(rig.roots);
+  // Retire user A through the driver: its root leaves the marking root set
+  // and the whole region becomes garbage for the next cycle.
+  rig.retire_user(a);
   rig.eng.controller().start_cycle(CycleOptions{false});
   rig.eng.run_until_cycle_done(10'000'000);
   EXPECT_TRUE(rig.g.is_free(a));

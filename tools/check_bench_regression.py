@@ -24,6 +24,11 @@ by a quiet-machine run of the same dgr_run invocation) is checked against
 the same contract when --handoff-baseline names it, so a baseline refresh
 that regresses the encoding cannot land.
 
+--slo-gate REPORT.json gates the session-workload SLO contract on a live
+dgr_soak report (see check_slo_gate): hard §5.4.1/telemetry invariants plus
+the absolute sessions/s floor and mutator-stall p99 ceiling recorded in the
+committed bench/baselines/SESSIONS_soak_smoke.json (--slo-baseline).
+
 Additionally --throughput-ratio-floor R asserts, within the CURRENT run of
 BENCH_latency.json alone (no cross-machine comparison at all), that the
 batched cross-PE throughput leg (BM_CrossPeTaskThroughput/1) beats the
@@ -199,6 +204,75 @@ def check_handoff_gate(path, label, max_ratio):
     return failures
 
 
+def check_slo_gate(report_path, baseline_path):
+    """Session-SLO contract over one dgr_soak --report JSON.
+
+    The report must come from a faulted+audited soak (dgr_soak --faults
+    --audit N --report ...). Hard invariants (machine-independent): the run's
+    own ok flag, zero audit violations, zero telemetry drops, zero replica
+    divergence, zero leaked slots, zero lingering sessions, and at least one
+    §5.4.1 audit actually executed. Absolute floors (machine-dependent, so
+    deliberately loose) come from the committed baseline record
+    (bench/baselines/SESSIONS_soak_smoke.json): sessions_per_sec must beat
+    slo.sessions_per_sec_floor and stall p99 must stay under
+    slo.stall_p99_us_max. The baseline's own reference measurements are
+    checked against the same floors, so a baseline refresh that regresses
+    the SLO cannot land.
+    """
+    try:
+        with open(report_path) as f:
+            rep = json.load(f)
+    except (OSError, ValueError) as e:
+        return ["slo-gate(current): cannot read %s: %s" % (report_path, e)]
+    try:
+        with open(baseline_path) as f:
+            base = json.load(f)
+    except (OSError, ValueError) as e:
+        return ["slo-gate(baseline): cannot read %s: %s" % (baseline_path, e)]
+    slo = base.get("slo", {})
+    floor = slo.get("sessions_per_sec_floor")
+    ceil = slo.get("stall_p99_us_max")
+    if floor is None or ceil is None:
+        return ["slo-gate(baseline): %s lacks slo.sessions_per_sec_floor / "
+                "slo.stall_p99_us_max" % baseline_path]
+
+    failures = []
+
+    def check_report(label, doc, hard):
+        if hard:
+            if not doc.get("ok", False):
+                failures.append("slo-gate(%s): report ok=false" % label)
+            for key in ("audit_violations", "telemetry_dropped", "divergence",
+                        "leaked_slots", "lingering_sessions"):
+                v = doc.get(key, 0)
+                if v:
+                    failures.append("slo-gate(%s): %s = %s (must be 0)" %
+                                    (label, key, v))
+            if doc.get("audits", 0) < 1:
+                failures.append("slo-gate(%s): no §5.4.1 audits ran — gate "
+                                "needs dgr_soak --audit N" % label)
+        sps = doc.get("sessions_per_sec", 0.0)
+        p99 = doc.get("stall_us", {}).get("p99", doc.get("stall_p99_us"))
+        if p99 is None:
+            failures.append("slo-gate(%s): stall p99 missing" % label)
+            p99 = 0.0
+        print("slo-gate(%s): %.1f sessions/s (floor %.1f), stall p99 "
+              "%.1f us (max %.1f us)" % (label, sps, floor, p99, ceil))
+        if sps < floor:
+            failures.append("slo-gate(%s): %.1f sessions/s below the %.1f "
+                            "floor" % (label, sps, floor))
+        if p99 > ceil:
+            failures.append("slo-gate(%s): stall p99 %.1f us above the "
+                            "%.1f us ceiling" % (label, p99, ceil))
+
+    check_report("current", rep, hard=True)
+    # The trimmed baseline record carries only the reference measurements; a
+    # refresh is only ever cut from a clean run, so hard invariants are
+    # implicit there.
+    check_report("baseline", base, hard=False)
+    return failures
+
+
 def check_throughput_ratio(cur_path, floor):
     """Batched vs unbatched cross-PE throughput, current run only."""
     cur = load_runs(cur_path)
@@ -251,9 +325,18 @@ def main():
     ap.add_argument("--handoff-ratio", type=float, default=0.10,
                     help="max average-delta / average-full size ratio for "
                          "--handoff-gate (default 0.10 = 10%%)")
+    ap.add_argument("--slo-gate", metavar="REPORT_JSON",
+                    help="gate the session-SLO contract on this dgr_soak "
+                         "--report file from a faulted+audited soak run")
+    ap.add_argument("--slo-baseline", metavar="JSON",
+                    default="bench/baselines/SESSIONS_soak_smoke.json",
+                    help="committed SLO reference record carrying the "
+                         "absolute floors (default %(default)s)")
     args = ap.parse_args()
 
     failures = []
+    if args.slo_gate:
+        failures += check_slo_gate(args.slo_gate, args.slo_baseline)
     if args.handoff_gate:
         failures += check_handoff_gate(args.handoff_gate, "current",
                                        args.handoff_ratio)
@@ -262,9 +345,9 @@ def main():
                                            args.handoff_ratio)
 
     if args.current is None:
-        if not args.handoff_gate:
-            print("--current is required unless --handoff-gate is used",
-                  file=sys.stderr)
+        if not args.handoff_gate and not args.slo_gate:
+            print("--current is required unless --handoff-gate or --slo-gate "
+                  "is used", file=sys.stderr)
             return 2
         if failures:
             print("\nFAIL:", file=sys.stderr)
